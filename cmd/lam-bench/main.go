@@ -1,0 +1,76 @@
+// Command lam-bench regenerates the paper's evaluation figures
+// (Figs. 3A, 3B, 5, 6, 7, 8) on the simulated platform and prints the
+// MAPE-vs-training-size series each figure plots.
+//
+// Usage:
+//
+//	lam-bench [-fig all|fig3a|fig3b|fig5|fig6|fig7|fig8]
+//	          [-machine bluewaters|xeon|edge] [-seed N] [-reps N] [-trees N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lam"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (all, fig3a, fig3b, fig5, fig6, fig7, fig8, ext-noise, ext-transfer)")
+	csvDir := flag.String("csv", "", "also write each figure's series as CSV into this directory")
+	machineName := flag.String("machine", "bluewaters", "machine preset (bluewaters, xeon, edge)")
+	seed := flag.Int64("seed", 42, "deterministic seed for simulator noise and sampling")
+	reps := flag.Int("reps", 7, "training-set redraws per fraction")
+	trees := flag.Int("trees", 100, "ensemble size for tree models")
+	flag.Parse()
+
+	m, err := lam.MachineByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := lam.FigureOptions{Machine: m, Seed: *seed, Reps: *reps, Trees: *trees}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = lam.FigureIDs()
+	}
+	fmt.Printf("machine: %s  seed: %d  reps: %d  trees: %d\n\n", m.Name, *seed, *reps, *trees)
+	for _, id := range ids {
+		var r *lam.Report
+		switch id {
+		case "ext-noise":
+			r, err = lam.NoiseSensitivity(opts, nil)
+		case "ext-transfer":
+			r, err = lam.HardwareTransfer(opts, nil, nil)
+		default:
+			r, err = lam.Figure(id, opts)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if err := r.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *csvDir != "" {
+			path := *csvDir + "/" + id + ".csv"
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := r.WriteSeriesCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lam-bench:", err)
+	os.Exit(1)
+}

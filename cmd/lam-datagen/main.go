@@ -1,0 +1,54 @@
+// Command lam-datagen generates the canonical per-figure datasets from
+// the ground-truth performance simulators and writes them as CSV
+// (features + final "time_s" column), for use with lam-predict or
+// external tooling.
+//
+// Usage:
+//
+//	lam-datagen -workload stencil-grid|stencil-blocking|stencil-threads|fmm
+//	            [-machine bluewaters|xeon|edge] [-seed N] [-o out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lam"
+)
+
+func main() {
+	workload := flag.String("workload", "stencil-grid", "dataset to generate: stencil-grid, stencil-blocking, stencil-threads, fmm")
+	machineName := flag.String("machine", "bluewaters", "machine preset")
+	seed := flag.Uint64("seed", 42, "simulator noise seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	m, err := lam.MachineByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := lam.BuildDataset(*workload, m, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lam-datagen: wrote %d rows of %s (%s)\n", ds.Len(), *workload, m.Name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lam-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command lam-predict trains a performance predictor on a dataset CSV
+// (as produced by lam-datagen) and reports held-out accuracy, following
+// the paper's methodology: uniform random training sample, MAPE on the
+// complement.
+//
+// Usage:
+//
+//	lam-predict -data fmm.csv -model hybrid -workload fmm -train 0.02
+//	lam-predict -data grid.csv -model et -train 0.10
+//
+// Models: et (extra trees), rf (random forest), dt (decision tree),
+// hybrid (requires -workload to select the analytical model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lam"
+	"lam/internal/dataset"
+	"lam/internal/hybrid"
+	"lam/internal/ml"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "dataset CSV (required)")
+	model := flag.String("model", "et", "model: et, rf, dt, hybrid")
+	workload := flag.String("workload", "", "workload name for the hybrid analytical model")
+	machineName := flag.String("machine", "bluewaters", "machine preset for the analytical model")
+	trainFrac := flag.Float64("train", 0.1, "training fraction (0, 1)")
+	seed := flag.Int64("seed", 42, "sampling and model seed")
+	trees := flag.Int("trees", 100, "ensemble size")
+	show := flag.Int("show", 5, "example predictions to print")
+	flag.Parse()
+
+	if *dataPath == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	train, test, err := ds.SampleFraction(*trainFrac, rng)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset: %d rows (%d features); training on %d, testing on %d\n",
+		ds.Len(), ds.NumFeatures(), train.Len(), test.Len())
+
+	var predict func(x []float64) (float64, error)
+	switch *model {
+	case "hybrid":
+		if *workload == "" {
+			fatal(fmt.Errorf("hybrid model needs -workload to pick the analytical model"))
+		}
+		m, err := lam.MachineByName(*machineName)
+		if err != nil {
+			fatal(err)
+		}
+		am, err := lam.AnalyticalModelFor(*workload, m)
+		if err != nil {
+			fatal(err)
+		}
+		amMAPE, err := lam.AnalyticalMAPE(test, am)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("analytical model alone: MAPE %.2f%%\n", amMAPE)
+		hy, err := lam.TrainHybrid(train, am, hybrid.Config{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		predict = hy.Predict
+	case "et", "rf", "dt":
+		var reg ml.Regressor
+		switch *model {
+		case "et":
+			reg = lam.NewExtraTrees(*trees, *seed)
+		case "rf":
+			reg = lam.NewRandomForest(*trees, *seed)
+		default:
+			reg = lam.NewDecisionTree(*seed)
+		}
+		if err := reg.Fit(train.X, train.Y); err != nil {
+			fatal(err)
+		}
+		predict = func(x []float64) (float64, error) { return reg.Predict(x), nil }
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	pred := make([]float64, test.Len())
+	for i, x := range test.X {
+		p, err := predict(x)
+		if err != nil {
+			fatal(err)
+		}
+		pred[i] = p
+	}
+	fmt.Printf("%s model: held-out MAPE %.2f%%\n", *model, lam.MAPE(test.Y, pred))
+
+	n := *show
+	if n > test.Len() {
+		n = test.Len()
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("  x=%v  true=%.6gs  predicted=%.6gs\n", test.X[i], test.Y[i], pred[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lam-predict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// FMM parameter tuning: Section VII.B's use case. The FMM's runtime is
+// governed by the particles-per-leaf q (P2P grows with q, M2L shrinks)
+// and the expansion order k (accuracy vs k⁶ cost). A hybrid model
+// trained on a modest sample picks (q, t) for a required order, and we
+// check its choice against the simulated truth.
+//
+// Run with: go run ./examples/fmm-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lam"
+	"lam/internal/perfsim"
+)
+
+func main() {
+	m := lam.BlueWaters()
+	ds, err := lam.BuildDataset("fmm", m, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := lam.AnalyticalModelFor("fmm", m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	train, test, err := ds.SampleFraction(0.15, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mape, err := hy.MAPE(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid model trained on %d/%d FMM configurations (held-out MAPE %.1f%%)\n\n",
+		train.Len(), ds.Len(), mape)
+
+	// Scenario: N = 16384 particles, accuracy requires order k >= 6,
+	// up to 16 threads available. Choose (q, t) minimising predicted
+	// time at the cheapest acceptable order.
+	const N, k = 16384, 6
+	sim := &perfsim.FMMSim{Machine: m, Seed: 42}
+	type choice struct {
+		q, t      int
+		predicted float64
+	}
+	best := choice{predicted: -1}
+	for _, q := range []int{8, 16, 32, 64, 128, 256, 512} {
+		for t := 1; t <= 16; t++ {
+			p, err := hy.Predict([]float64{float64(t), N, float64(q), k})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if best.predicted < 0 || p < best.predicted {
+				best = choice{q, t, p}
+			}
+		}
+	}
+	actual, err := sim.Measure(perfsim.FMMWorkload{N: N, Q: best.q, K: k, Threads: best.t})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model's pick for N=%d, k=%d: q=%d, t=%d (predicted %.4fs, actual %.4fs)\n",
+		N, k, best.q, best.t, best.predicted, actual)
+
+	// Exhaustive truth for comparison.
+	bestActual, bq, bt := -1.0, 0, 0
+	for _, q := range []int{8, 16, 32, 64, 128, 256, 512} {
+		for t := 1; t <= 16; t++ {
+			a, err := sim.Measure(perfsim.FMMWorkload{N: N, Q: q, K: k, Threads: t})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bestActual < 0 || a < bestActual {
+				bestActual, bq, bt = a, q, t
+			}
+		}
+	}
+	fmt.Printf("true optimum:                q=%d, t=%d (%.4fs)\n", bq, bt, bestActual)
+	fmt.Printf("slowdown of the model's pick vs optimum: %.1f%%\n", 100*(actual/bestActual-1))
+}

@@ -1,0 +1,92 @@
+// Offline model lifecycle: Section VI stresses that "the model is
+// constructed once offline but used many times. It is not necessary to
+// gather a training dataset or rebuild the model for every prediction."
+// This example trains a hybrid model, serialises it to disk, reloads it
+// in a fresh "deployment" step, and verifies the predictions survive the
+// round trip bit-for-bit.
+//
+// Run with: go run ./examples/offline-model
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"lam"
+)
+
+func main() {
+	m := lam.BlueWaters()
+	ds, err := lam.BuildDataset("fmm", m, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := lam.AnalyticalModelFor("fmm", m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Offline phase: train once, save the artefact. ---
+	rng := rand.New(rand.NewSource(2))
+	train, test, err := ds.SampleFraction(0.15, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "lam-fmm-model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hy.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("offline: trained on %d samples, saved model to %s (%d KB)\n",
+		train.Len(), path, info.Size()/1024)
+
+	// --- Deployment phase: load and predict, no training data needed.
+	// Only the analytical model (a function of the machine spec) is
+	// reattached. ---
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := lam.LoadHybrid(g, am)
+	g.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mape, err := loaded.MAPE(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: held-out MAPE of the reloaded model: %.1f%%\n", mape)
+
+	// The round trip must be exact.
+	for i := 0; i < 5; i++ {
+		a, err := hy.Predict(test.X[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := loaded.Predict(test.X[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  x=%v  original=%.6gs  reloaded=%.6gs  (equal: %v)\n",
+			test.X[i], a, b, a == b)
+	}
+	if err := os.Remove(path); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: train the paper's hybrid model on 2% of a stencil
+// dataset and compare it against pure ML and the raw analytical model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lam"
+)
+
+func main() {
+	// 1. The simulated platform: the paper's Blue Waters XE6 node.
+	m := lam.BlueWaters()
+
+	// 2. A ground-truth dataset: every stencil grid configuration of
+	//    Fig. 5, "measured" by the deterministic performance simulator.
+	ds, err := lam.BuildDataset("stencil-grid", m, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d configurations, features %v\n", ds.Len(), ds.FeatureNames)
+
+	// 3. Split: the hybrid model needs only a tiny training set.
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := ds.SampleFraction(0.02, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training on %d samples (2%%), testing on %d\n", train.Len(), test.Len())
+
+	// 4. The paper's analytical model for this workload, untuned.
+	am, err := lam.AnalyticalModelFor("stencil-grid", m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	amMAPE, err := lam.AnalyticalMAPE(test, am)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Train the hybrid (stacked analytical + extra trees) model.
+	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hyMAPE, err := hy.MAPE(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Baseline: pure extra trees on the same tiny training set.
+	et := lam.NewExtraTrees(100, 7)
+	if err := et.Fit(train.X, train.Y); err != nil {
+		log.Fatal(err)
+	}
+	etMAPE := lam.MAPE(test.Y, lam.PredictBatch(et, test.X))
+
+	fmt.Printf("\nheld-out MAPE:\n")
+	fmt.Printf("  analytical model alone : %6.2f%%\n", amMAPE)
+	fmt.Printf("  pure extra trees       : %6.2f%%\n", etMAPE)
+	fmt.Printf("  hybrid model           : %6.2f%%\n", hyMAPE)
+
+	// 7. Predict a configuration that was never measured.
+	x := []float64{192, 160, 224}
+	p, err := hy.Predict(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted time for grid %v: %.4fs\n", x, p)
+}

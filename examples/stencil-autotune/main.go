@@ -1,0 +1,96 @@
+// Stencil autotuning: the use case that motivates the paper's intro —
+// pick loop-block sizes for a stencil without measuring every
+// configuration. A hybrid model trained on 2% of the space ranks all
+// block-size candidates for a target grid; we compare its choice with
+// the true optimum.
+//
+// Run with: go run ./examples/stencil-autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"lam"
+	"lam/internal/perfsim"
+)
+
+func main() {
+	m := lam.BlueWaters()
+	ds, err := lam.BuildDataset("stencil-blocking", m, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := lam.AnalyticalModelFor("stencil-blocking", m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on 2% of the space — the measurements an autotuner can
+	// afford during a short calibration run.
+	rng := rand.New(rand.NewSource(9))
+	train, _, err := ds.SampleFraction(0.02, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained hybrid model on %d of %d configurations\n\n", train.Len(), ds.Len())
+
+	// Rank every block-size candidate for a target grid.
+	const J, K = 96, 112
+	type cand struct {
+		bj, bk    int
+		predicted float64
+		actual    float64
+	}
+	sim := &perfsim.StencilSim{Machine: m, Seed: 42}
+	var cands []cand
+	for _, bj := range blockCandidates(J) {
+		for _, bk := range blockCandidates(K) {
+			x := []float64{1, J, K, 1, float64(bj), float64(bk)}
+			p, err := hy.Predict(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual, err := sim.Measure(perfsim.StencilWorkload{
+				I: 1, J: J, K: K, TI: 1, TJ: bj, TK: bk,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cands = append(cands, cand{bj, bk, p, actual})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].predicted < cands[b].predicted })
+
+	fmt.Printf("top-5 predicted block sizes for grid 1x%dx%d:\n", J, K)
+	fmt.Printf("  %4s %4s  %12s  %12s\n", "bj", "bk", "predicted(s)", "actual(s)")
+	for _, c := range cands[:5] {
+		fmt.Printf("  %4d %4d  %12.6f  %12.6f\n", c.bj, c.bk, c.predicted, c.actual)
+	}
+
+	best := cands[0]
+	trueBest := cands[0]
+	for _, c := range cands {
+		if c.actual < trueBest.actual {
+			trueBest = c
+		}
+	}
+	fmt.Printf("\nmodel's pick : bj=%d bk=%d -> %.6fs\n", best.bj, best.bk, best.actual)
+	fmt.Printf("true optimum : bj=%d bk=%d -> %.6fs\n", trueBest.bj, trueBest.bk, trueBest.actual)
+	fmt.Printf("slowdown of the model's pick vs optimum: %.1f%%\n",
+		100*(best.actual/trueBest.actual-1))
+}
+
+func blockCandidates(d int) []int {
+	var out []int
+	for b := 1; b < d; b *= 2 {
+		out = append(out, b)
+	}
+	return append(out, d)
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// responseColumn is the header name used for the response column in CSV
+// form; it is always the last column.
+const responseColumn = "time_s"
+
+// WriteCSV encodes the dataset with a header row: feature columns in
+// order, then the response column "time_s".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, d.FeatureNames...), responseColumn)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a dataset written by WriteCSV. The last column is the
+// response; every other column is a feature.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: CSV needs at least one feature and a response, got %d columns", len(header))
+	}
+	d := New(header[:len(header)-1]...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d columns, want %d", line, len(rec), len(header))
+		}
+		x := make([]float64, len(rec)-1)
+		for j := range x {
+			x[j], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %q: %w", line, header[j], err)
+			}
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d response: %w", line, err)
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	return d, nil
+}

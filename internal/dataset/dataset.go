@@ -1,0 +1,195 @@
+// Package dataset defines the tabular sample container used throughout
+// the repository: named feature vectors paired with a scalar response
+// (execution time, in seconds, for every workload in the paper).
+//
+// It provides the operations the paper's methodology needs: uniform
+// random sampling to build training sets (Section V), train/test
+// splitting, feature augmentation (used by the stacked hybrid model to
+// append the analytical prediction as an extra feature) and CSV
+// round-tripping for the cmd/lam-datagen tool.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a column-named design matrix X with response vector Y.
+// Rows of X all share the same length, equal to len(FeatureNames).
+type Dataset struct {
+	// FeatureNames labels the columns of X, e.g. ["I","J","K","bi","bj","bk"].
+	FeatureNames []string
+	// X holds one feature vector per sample.
+	X [][]float64
+	// Y holds the response (execution time in seconds) per sample.
+	Y []float64
+}
+
+// New returns an empty dataset with the given feature names.
+func New(featureNames ...string) *Dataset {
+	names := make([]string, len(featureNames))
+	copy(names, featureNames)
+	return &Dataset{FeatureNames: names}
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the number of feature columns.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// Add appends one sample. The feature vector is copied.
+func (d *Dataset) Add(x []float64, y float64) error {
+	if len(x) != d.NumFeatures() {
+		return fmt.Errorf("dataset: sample has %d features, want %d", len(x), d.NumFeatures())
+	}
+	row := make([]float64, len(x))
+	copy(row, x)
+	d.X = append(d.X, row)
+	d.Y = append(d.Y, y)
+	return nil
+}
+
+// MustAdd is Add but panics on feature-arity mismatch. It is intended
+// for generators whose arity is fixed by construction.
+func (d *Dataset) MustAdd(x []float64, y float64) {
+	if err := d.Add(x, y); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := New(d.FeatureNames...)
+	out.X = make([][]float64, len(d.X))
+	for i, row := range d.X {
+		r := make([]float64, len(row))
+		copy(r, row)
+		out.X[i] = r
+	}
+	out.Y = make([]float64, len(d.Y))
+	copy(out.Y, d.Y)
+	return out
+}
+
+// Validate checks internal consistency: matching X/Y lengths and uniform
+// row arity.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset: %d feature rows but %d responses", len(d.X), len(d.Y))
+	}
+	for i, row := range d.X {
+		if len(row) != d.NumFeatures() {
+			return fmt.Errorf("dataset: row %d has %d features, want %d", i, len(row), d.NumFeatures())
+		}
+	}
+	return nil
+}
+
+// Subset returns a new dataset holding the rows selected by idx
+// (feature vectors are copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := New(d.FeatureNames...)
+	for _, i := range idx {
+		out.MustAdd(d.X[i], d.Y[i])
+	}
+	return out
+}
+
+// SampleFraction draws a uniform random sample holding round(frac*n)
+// samples (at least 1 when frac > 0 and the dataset is non-empty) and
+// returns it together with the complement. This mirrors the paper's
+// uniform-random-sampling construction of training sets, with the
+// complement used as the held-out evaluation set.
+func (d *Dataset) SampleFraction(frac float64, rng *rand.Rand) (sample, rest *Dataset, err error) {
+	if frac < 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("dataset: fraction %v out of [0,1]", frac)
+	}
+	n := d.Len()
+	k := int(frac*float64(n) + 0.5)
+	if frac > 0 && k == 0 && n > 0 {
+		k = 1
+	}
+	return d.SampleN(k, rng)
+}
+
+// SampleN draws k samples uniformly at random without replacement and
+// returns them together with the complement.
+func (d *Dataset) SampleN(k int, rng *rand.Rand) (sample, rest *Dataset, err error) {
+	n := d.Len()
+	if k < 0 || k > n {
+		return nil, nil, fmt.Errorf("dataset: cannot sample %d of %d rows", k, n)
+	}
+	perm := rng.Perm(n)
+	return d.Subset(perm[:k]), d.Subset(perm[k:]), nil
+}
+
+// Split partitions the dataset into a training set holding frac of the
+// rows and a test set holding the remainder, shuffled by rng.
+func (d *Dataset) Split(frac float64, rng *rand.Rand) (train, test *Dataset, err error) {
+	return d.SampleFraction(frac, rng)
+}
+
+// Bootstrap draws n samples uniformly at random with replacement.
+func (d *Dataset) Bootstrap(n int, rng *rand.Rand) *Dataset {
+	out := New(d.FeatureNames...)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(d.Len())
+		out.MustAdd(d.X[j], d.Y[j])
+	}
+	return out
+}
+
+// WithFeature returns a copy of the dataset with one extra column
+// appended. values must have one entry per sample. The stacked hybrid
+// model uses this to append the analytical model's prediction.
+func (d *Dataset) WithFeature(name string, values []float64) (*Dataset, error) {
+	if len(values) != d.Len() {
+		return nil, fmt.Errorf("dataset: feature %q has %d values for %d samples", name, len(values), d.Len())
+	}
+	out := New(append(append([]string{}, d.FeatureNames...), name)...)
+	for i, row := range d.X {
+		aug := make([]float64, len(row)+1)
+		copy(aug, row)
+		aug[len(row)] = values[i]
+		out.X = append(out.X, aug)
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out, nil
+}
+
+// Column returns a copy of the values of the named feature column.
+func (d *Dataset) Column(name string) ([]float64, error) {
+	idx := -1
+	for i, n := range d.FeatureNames {
+		if n == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("dataset: no feature named %q", name)
+	}
+	out := make([]float64, d.Len())
+	for i, row := range d.X {
+		out[i] = row[idx]
+	}
+	return out, nil
+}
+
+// Append concatenates other onto d. Feature names must match exactly.
+func (d *Dataset) Append(other *Dataset) error {
+	if other.NumFeatures() != d.NumFeatures() {
+		return errors.New("dataset: appending datasets with different arity")
+	}
+	for i, n := range d.FeatureNames {
+		if other.FeatureNames[i] != n {
+			return fmt.Errorf("dataset: feature %d named %q vs %q", i, n, other.FeatureNames[i])
+		}
+	}
+	for i := range other.X {
+		d.MustAdd(other.X[i], other.Y[i])
+	}
+	return nil
+}

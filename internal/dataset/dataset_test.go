@@ -1,0 +1,291 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Dataset {
+	d := New("a", "b")
+	d.MustAdd([]float64{1, 2}, 10)
+	d.MustAdd([]float64{3, 4}, 20)
+	d.MustAdd([]float64{5, 6}, 30)
+	d.MustAdd([]float64{7, 8}, 40)
+	return d
+}
+
+func TestAddArityMismatch(t *testing.T) {
+	d := New("a", "b")
+	if err := d.Add([]float64{1}, 10); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if err := d.Add([]float64{1, 2, 3}, 10); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestAddCopiesInput(t *testing.T) {
+	d := New("a")
+	x := []float64{1}
+	d.MustAdd(x, 10)
+	x[0] = 99
+	if d.X[0][0] != 1 {
+		t.Error("Add must copy the feature vector")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[0] = 99
+	if d.X[0][0] == 99 || d.Y[0] == 99 {
+		t.Error("Clone must deep-copy")
+	}
+	if c.Len() != d.Len() {
+		t.Errorf("clone has %d rows, want %d", c.Len(), d.Len())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := sample()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset reported invalid: %v", err)
+	}
+	d.Y = d.Y[:2]
+	if err := d.Validate(); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	d = sample()
+	d.X[1] = []float64{1}
+	if err := d.Validate(); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample()
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 {
+		t.Fatalf("subset len = %d, want 2", s.Len())
+	}
+	if s.Y[0] != 30 || s.Y[1] != 10 {
+		t.Errorf("subset rows wrong: %v", s.Y)
+	}
+}
+
+func TestSampleFractionPartition(t *testing.T) {
+	d := sample()
+	rng := rand.New(rand.NewSource(1))
+	tr, te, err := d.SampleFraction(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || te.Len() != 2 {
+		t.Fatalf("split sizes = %d/%d, want 2/2", tr.Len(), te.Len())
+	}
+	// The union of responses must be the original multiset.
+	seen := map[float64]int{}
+	for _, y := range append(append([]float64{}, tr.Y...), te.Y...) {
+		seen[y]++
+	}
+	for _, y := range d.Y {
+		if seen[y] != 1 {
+			t.Errorf("response %v appears %d times in union", y, seen[y])
+		}
+	}
+}
+
+func TestSampleFractionAtLeastOne(t *testing.T) {
+	d := sample()
+	rng := rand.New(rand.NewSource(1))
+	tr, _, err := d.SampleFraction(0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("tiny fraction should still yield 1 sample, got %d", tr.Len())
+	}
+}
+
+func TestSampleFractionBounds(t *testing.T) {
+	d := sample()
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := d.SampleFraction(-0.1, rng); err == nil {
+		t.Error("expected error for negative fraction")
+	}
+	if _, _, err := d.SampleFraction(1.5, rng); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+func TestSampleNErrors(t *testing.T) {
+	d := sample()
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := d.SampleN(5, rng); err == nil {
+		t.Error("expected error sampling more than n")
+	}
+	if _, _, err := d.SampleN(-1, rng); err == nil {
+		t.Error("expected error for negative k")
+	}
+}
+
+func TestBootstrapSize(t *testing.T) {
+	d := sample()
+	rng := rand.New(rand.NewSource(1))
+	b := d.Bootstrap(10, rng)
+	if b.Len() != 10 {
+		t.Errorf("bootstrap len = %d, want 10", b.Len())
+	}
+	// All bootstrapped responses must come from the original dataset.
+	valid := map[float64]bool{10: true, 20: true, 30: true, 40: true}
+	for _, y := range b.Y {
+		if !valid[y] {
+			t.Errorf("bootstrap produced foreign response %v", y)
+		}
+	}
+}
+
+func TestWithFeature(t *testing.T) {
+	d := sample()
+	aug, err := d.WithFeature("am", []float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.NumFeatures() != 3 {
+		t.Fatalf("augmented arity = %d, want 3", aug.NumFeatures())
+	}
+	if aug.FeatureNames[2] != "am" {
+		t.Errorf("augmented name = %q, want am", aug.FeatureNames[2])
+	}
+	if aug.X[1][2] != 0.2 {
+		t.Errorf("augmented value = %v, want 0.2", aug.X[1][2])
+	}
+	// Original untouched.
+	if d.NumFeatures() != 2 {
+		t.Error("WithFeature must not mutate the receiver")
+	}
+	if _, err := d.WithFeature("am", []float64{1}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	d := sample()
+	col, err := d.Column("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6, 8}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("Column(b)[%d] = %v, want %v", i, col[i], want[i])
+		}
+	}
+	if _, err := d.Column("zzz"); err == nil {
+		t.Error("expected missing-column error")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	d := sample()
+	e := sample()
+	if err := d.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 8 {
+		t.Errorf("appended len = %d, want 8", d.Len())
+	}
+	bad := New("a", "zz")
+	bad.MustAdd([]float64{1, 2}, 3)
+	if err := d.Append(bad); err == nil {
+		t.Error("expected name mismatch error")
+	}
+	bad2 := New("a")
+	if err := d.Append(bad2); err == nil {
+		t.Error("expected arity mismatch error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumFeatures() != d.NumFeatures() {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", got.Len(), got.NumFeatures(), d.Len(), d.NumFeatures())
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Errorf("X[%d][%d] = %v, want %v", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+		if got.Y[i] != d.Y[i] {
+			t.Errorf("Y[%d] = %v, want %v", i, got.Y[i], d.Y[i])
+		}
+	}
+}
+
+func TestCSVRoundTripPreservesPrecision(t *testing.T) {
+	f := func(vals [4]float64) bool {
+		d := New("x")
+		for _, v := range vals {
+			d.MustAdd([]float64{v}, v*2)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if got.X[i][0] != vals[i] && !(got.X[i][0] != got.X[i][0] && vals[i] != vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"only_one_column\n1\n",  // too few columns
+		"a,time_s\nnotanum,2\n", // bad feature
+		"a,time_s\n1,notanum\n", // bad response
+		"a,b,time_s\n1,2\n",     // short row (csv pkg catches this)
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestReadCSVHeaderNames(t *testing.T) {
+	in := "I,J,K,time_s\n1,2,3,0.5\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.FeatureNames) != 3 || d.FeatureNames[0] != "I" || d.FeatureNames[2] != "K" {
+		t.Errorf("feature names = %v", d.FeatureNames)
+	}
+	if d.Y[0] != 0.5 {
+		t.Errorf("Y[0] = %v, want 0.5", d.Y[0])
+	}
+}

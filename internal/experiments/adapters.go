@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lam/internal/analytical"
+	"lam/internal/hybrid"
+	"lam/internal/machine"
+)
+
+// StencilGridAM adapts the stencil analytical model to the Fig. 5
+// feature layout X = (I, J, K).
+func StencilGridAM(m *machine.Machine) hybrid.AnalyticalModel {
+	am := &analytical.StencilModel{Machine: m, WriteAllocate: true}
+	return hybrid.AnalyticalFunc(func(x []float64) (float64, error) {
+		if len(x) != 3 {
+			return 0, fmt.Errorf("experiments: grid AM wants 3 features, got %d", len(x))
+		}
+		return am.Predict(analytical.StencilParams{
+			I: int(x[0]), J: int(x[1]), K: int(x[2]),
+		})
+	})
+}
+
+// StencilBlockingAM adapts the stencil analytical model with the Eq. 15
+// blocking extension to the Fig. 3A / Fig. 6 layout
+// X = (I, J, K, bi, bj, bk). Untuned, as in the paper (AM MAPE = 42%).
+func StencilBlockingAM(m *machine.Machine) hybrid.AnalyticalModel {
+	am := &analytical.StencilModel{Machine: m, WriteAllocate: true}
+	return hybrid.AnalyticalFunc(func(x []float64) (float64, error) {
+		if len(x) != 6 {
+			return 0, fmt.Errorf("experiments: blocking AM wants 6 features, got %d", len(x))
+		}
+		return am.Predict(analytical.StencilParams{
+			I: int(x[0]), J: int(x[1]), K: int(x[2]),
+			TI: int(x[3]), TJ: int(x[4]), TK: int(x[5]),
+		})
+	})
+}
+
+// StencilThreadsAM adapts the *serial* stencil analytical model to the
+// Fig. 7 layout X = (I, J, K, t): the thread count is deliberately
+// ignored, reproducing the paper's "region not covered by the
+// analytical models" experiment.
+func StencilThreadsAM(m *machine.Machine) hybrid.AnalyticalModel {
+	am := &analytical.StencilModel{Machine: m, WriteAllocate: true}
+	return hybrid.AnalyticalFunc(func(x []float64) (float64, error) {
+		if len(x) != 4 {
+			return 0, fmt.Errorf("experiments: threads AM wants 4 features, got %d", len(x))
+		}
+		return am.Predict(analytical.StencilParams{
+			I: int(x[0]), J: int(x[1]), K: int(x[2]),
+			TimeSteps: ThreadsDatasetTimeSteps,
+		})
+	})
+}
+
+// FMMAM adapts the single-core FMM analytical model to the Fig. 3B /
+// Fig. 8 layout X = (t, N, q, k); t is ignored (the model is
+// single-core). Untuned, as in the paper (AM MAPE = 84.5%).
+func FMMAM(m *machine.Machine) hybrid.AnalyticalModel {
+	am := &analytical.FMMModel{Machine: m}
+	return hybrid.AnalyticalFunc(func(x []float64) (float64, error) {
+		if len(x) != 4 {
+			return 0, fmt.Errorf("experiments: FMM AM wants 4 features, got %d", len(x))
+		}
+		return am.Predict(analytical.FMMParams{
+			N: int(x[1]), Q: int(x[2]), K: int(x[3]),
+		})
+	})
+}
+
+// StencilFullAM adapts the blocking analytical model to the complete
+// 8-feature PATUS layout X = (I, J, K, bi, bj, bk, u, t); unroll and
+// threads are outside the model's coverage and ignored, the paper's
+// worst-case stacking scenario.
+func StencilFullAM(m *machine.Machine) hybrid.AnalyticalModel {
+	am := &analytical.StencilModel{Machine: m, WriteAllocate: true}
+	return hybrid.AnalyticalFunc(func(x []float64) (float64, error) {
+		if len(x) != 8 {
+			return 0, fmt.Errorf("experiments: full AM wants 8 features, got %d", len(x))
+		}
+		return am.Predict(analytical.StencilParams{
+			I: int(x[0]), J: int(x[1]), K: int(x[2]),
+			TI: int(x[3]), TJ: int(x[4]), TK: int(x[5]),
+		})
+	})
+}
+
+// AMByDataset returns the analytical-model adapter matching a canonical
+// dataset name (see DatasetByName).
+func AMByDataset(name string, m *machine.Machine) (hybrid.AnalyticalModel, error) {
+	switch name {
+	case "stencil-grid":
+		return StencilGridAM(m), nil
+	case "stencil-blocking":
+		return StencilBlockingAM(m), nil
+	case "stencil-threads":
+		return StencilThreadsAM(m), nil
+	case "stencil-full":
+		return StencilFullAM(m), nil
+	case "fmm":
+		return FMMAM(m), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+}

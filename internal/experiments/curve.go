@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lam/internal/dataset"
+	"lam/internal/hybrid"
+	"lam/internal/ml"
+	"lam/internal/xmath"
+)
+
+// Trainable is anything the sweep can fit on a dataset and query —
+// pure-ML pipelines and hybrid models both satisfy it through the
+// wrappers below.
+type Trainable interface {
+	Fit(train *dataset.Dataset) error
+	Predict(x []float64) (float64, error)
+}
+
+// mlTrainable wraps an ml.Regressor factory.
+type mlTrainable struct {
+	factory func(seed int64) ml.Regressor
+	seed    int64
+	model   ml.Regressor
+}
+
+// MLTrainable adapts a seeded regressor factory (e.g. extra trees in a
+// standardising pipeline) to the sweep interface.
+func MLTrainable(factory func(seed int64) ml.Regressor) func(seed int64) Trainable {
+	return func(seed int64) Trainable {
+		return &mlTrainable{factory: factory, seed: seed}
+	}
+}
+
+func (m *mlTrainable) Fit(train *dataset.Dataset) error {
+	m.model = m.factory(m.seed)
+	return m.model.Fit(train.X, train.Y)
+}
+
+func (m *mlTrainable) Predict(x []float64) (float64, error) {
+	return m.model.Predict(x), nil
+}
+
+// hybridTrainable wraps hybrid.Train.
+type hybridTrainable struct {
+	am    hybrid.AnalyticalModel
+	cfg   hybrid.Config
+	model *hybrid.Model
+}
+
+// HybridTrainable adapts a hybrid configuration to the sweep interface.
+func HybridTrainable(am hybrid.AnalyticalModel, cfg hybrid.Config) func(seed int64) Trainable {
+	return func(seed int64) Trainable {
+		c := cfg
+		c.Seed = seed
+		return &hybridTrainable{am: am, cfg: c}
+	}
+}
+
+func (h *hybridTrainable) Fit(train *dataset.Dataset) error {
+	m, err := hybrid.Train(train, h.am, h.cfg)
+	if err != nil {
+		return err
+	}
+	h.model = m
+	return nil
+}
+
+func (h *hybridTrainable) Predict(x []float64) (float64, error) {
+	return h.model.Predict(x)
+}
+
+// Series is one MAPE-vs-training-fraction curve: the content of one
+// panel of the paper's figures (mean over repetitions, with spread).
+type Series struct {
+	Label     string
+	Fractions []float64
+	// MeanMAPE, StdMAPE, MedianMAPE aggregate the repetitions at each
+	// fraction (the paper draws boxplots; we report the moments).
+	MeanMAPE   []float64
+	StdMAPE    []float64
+	MedianMAPE []float64
+	// Reps is the number of training-set redraws per fraction.
+	Reps int
+}
+
+// MAPECurve sweeps training-set fractions: at each fraction it redraws
+// a uniform random training set reps times (fresh model seed per draw),
+// trains, and scores MAPE on the complement.
+func MAPECurve(ds *dataset.Dataset, newModel func(seed int64) Trainable, fractions []float64, reps int, seed int64, label string) (Series, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	s := Series{Label: label, Fractions: fractions, Reps: reps}
+	for fi, frac := range fractions {
+		scores := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			drawSeed := int64(xmath.Hash64(uint64(seed), uint64(fi), uint64(r)))
+			rng := rand.New(rand.NewSource(drawSeed))
+			train, test, err := ds.SampleFraction(frac, rng)
+			if err != nil {
+				return Series{}, err
+			}
+			if train.Len() == 0 || test.Len() == 0 {
+				return Series{}, fmt.Errorf("experiments: degenerate split at fraction %v", frac)
+			}
+			m := newModel(drawSeed)
+			if err := m.Fit(train); err != nil {
+				return Series{}, fmt.Errorf("experiments: fit at fraction %v rep %d: %w", frac, r, err)
+			}
+			pred := make([]float64, test.Len())
+			for i, x := range test.X {
+				p, err := m.Predict(x)
+				if err != nil {
+					return Series{}, err
+				}
+				pred[i] = p
+			}
+			scores = append(scores, ml.MAPE(test.Y, pred))
+		}
+		s.MeanMAPE = append(s.MeanMAPE, xmath.Mean(scores))
+		s.StdMAPE = append(s.StdMAPE, xmath.StdDev(scores))
+		s.MedianMAPE = append(s.MedianMAPE, xmath.Median(scores))
+	}
+	return s, nil
+}
+
+// DefaultPipeline returns the paper's standard estimator stack: a
+// StandardScaler feeding the given tree ensemble.
+func DefaultPipeline(kind string, nTrees int) func(seed int64) ml.Regressor {
+	return func(seed int64) ml.Regressor {
+		var inner ml.Regressor
+		switch kind {
+		case "dt":
+			inner = ml.NewDecisionTree(ml.TreeConfig{Seed: seed})
+		case "rf":
+			inner = ml.NewRandomForest(nTrees, seed)
+		default: // "et"
+			inner = ml.NewExtraTrees(nTrees, seed)
+		}
+		return &ml.Pipeline{Model: inner}
+	}
+}

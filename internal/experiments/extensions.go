@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lam/internal/hybrid"
+	"lam/internal/machine"
+	"lam/internal/perfsim"
+)
+
+// Extension experiments beyond the paper's figure set: a measurement-
+// noise sensitivity sweep (how robust is the hybrid advantage to run-
+// to-run variance?) and the hardware-transfer experiment the paper's
+// conclusion motivates but does not plot.
+
+// NoiseSensitivity re-runs the Fig. 6 comparison (blocking dataset, 2%
+// training) at several simulator noise levels and reports one series
+// per model across noise levels (the Fractions field carries the noise
+// level instead of a training fraction).
+func NoiseSensitivity(opts Options, noiseLevels []float64) (*Report, error) {
+	o := opts.normalized()
+	if len(noiseLevels) == 0 {
+		noiseLevels = []float64{0.01, 0.035, 0.08, 0.15}
+	}
+	r := &Report{
+		ID:    "ext-noise",
+		Title: "hybrid vs pure ML under increasing measurement noise (blocking dataset, 2% training)",
+	}
+	et := Series{Label: "Extra Trees (pure ML)", Reps: o.Reps}
+	hy := Series{Label: "Hybrid Model", Reps: o.Reps}
+	am := Series{Label: "Analytical Model alone", Reps: 1}
+	for _, nl := range noiseLevels {
+		sim := &perfsim.StencilSim{Machine: o.Machine, Seed: uint64(o.Seed), NoiseLevel: nl}
+		ds, err := StencilBlockingDataset(sim)
+		if err != nil {
+			return nil, err
+		}
+		r.DatasetSize = ds.Len()
+		amModel := StencilBlockingAM(o.Machine)
+
+		etc, err := MAPECurve(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
+			[]float64{0.02}, o.Reps, o.Seed, "et")
+		if err != nil {
+			return nil, err
+		}
+		hyc, err := MAPECurve(ds, HybridTrainable(amModel, hybrid.Config{}),
+			[]float64{0.02}, o.Reps, o.Seed, "hy")
+		if err != nil {
+			return nil, err
+		}
+		amMAPE, err := hybrid.AnalyticalMAPE(ds, amModel)
+		if err != nil {
+			return nil, err
+		}
+		et.Fractions = append(et.Fractions, nl)
+		et.MeanMAPE = append(et.MeanMAPE, etc.MeanMAPE[0])
+		et.StdMAPE = append(et.StdMAPE, etc.StdMAPE[0])
+		et.MedianMAPE = append(et.MedianMAPE, etc.MedianMAPE[0])
+		hy.Fractions = append(hy.Fractions, nl)
+		hy.MeanMAPE = append(hy.MeanMAPE, hyc.MeanMAPE[0])
+		hy.StdMAPE = append(hy.StdMAPE, hyc.StdMAPE[0])
+		hy.MedianMAPE = append(hy.MedianMAPE, hyc.MedianMAPE[0])
+		am.Fractions = append(am.Fractions, nl)
+		am.MeanMAPE = append(am.MeanMAPE, amMAPE)
+		am.StdMAPE = append(am.StdMAPE, 0)
+		am.MedianMAPE = append(am.MedianMAPE, amMAPE)
+	}
+	r.Notes = append(r.Notes, "x axis is the simulator noise level σ, not a training fraction")
+	r.Series = []Series{et, hy, am}
+	return r, nil
+}
+
+// HardwareTransfer runs the paper's concluding scenario: a model must
+// become accurate on a new machine from a small re-measurement budget.
+// It reports hybrid vs pure ML on the target machine's blocking
+// dataset across budgets.
+func HardwareTransfer(opts Options, target *machine.Machine, budgets []float64) (*Report, error) {
+	o := opts.normalized()
+	if target == nil {
+		target = machine.GenericXeon()
+	}
+	if len(budgets) == 0 {
+		budgets = []float64{0.01, 0.02, 0.04}
+	}
+	ds, err := StencilBlockingDataset(NewStencilSim(target, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	am := StencilBlockingAM(target)
+	r := &Report{
+		ID:          "ext-transfer",
+		Title:       fmt.Sprintf("hardware change %s -> %s: accuracy per re-measurement budget", o.Machine.Name, target.Name),
+		DatasetSize: ds.Len(),
+	}
+	amMAPE, err := hybrid.AnalyticalMAPE(ds, am)
+	if err != nil {
+		return nil, err
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("target-machine analytical model (from spec sheet, no data): MAPE = %.1f%%", amMAPE))
+
+	et, err := MAPECurve(ds, MLTrainable(DefaultPipeline("et", o.Trees)), budgets, o.Reps, o.Seed, "Extra Trees (pure ML)")
+	if err != nil {
+		return nil, err
+	}
+	hy, err := MAPECurve(ds, HybridTrainable(am, hybrid.Config{}), budgets, o.Reps, o.Seed, "Hybrid Model")
+	if err != nil {
+		return nil, err
+	}
+	r.Series = []Series{et, hy}
+	return r, nil
+}
+
+// WriteSeriesCSV exports a report's series in long form
+// (series,fraction,mean,std,median) for external plotting.
+func (r *Report) WriteSeriesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "fraction", "mean_mape", "std_mape", "median_mape"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range r.Series {
+		for i := range s.Fractions {
+			rec := []string{s.Label, f(s.Fractions[i]), f(s.MeanMAPE[i]), f(s.StdMAPE[i]), f(s.MedianMAPE[i])}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

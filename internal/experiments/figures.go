@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lam/internal/dataset"
+	"lam/internal/hybrid"
+	"lam/internal/machine"
+)
+
+// Options configures a figure run.
+type Options struct {
+	// Machine is the simulated platform; nil means BlueWatersXE6 (the
+	// paper's testbed).
+	Machine *machine.Machine
+	// Seed fixes both the simulator noise stream and the sampling.
+	Seed int64
+	// Reps is the number of training-set redraws per fraction; 0 means 7.
+	Reps int
+	// Trees is the forest size; 0 means 100.
+	Trees int
+}
+
+func (o Options) normalized() Options {
+	if o.Machine == nil {
+		o.Machine = machine.BlueWatersXE6()
+	}
+	if o.Reps <= 0 {
+		o.Reps = 7
+	}
+	if o.Trees <= 0 {
+		o.Trees = 100
+	}
+	return o
+}
+
+// Report is one regenerated figure: its series plus free-form notes
+// (e.g. the standalone analytical-model MAPE the paper quotes).
+type Report struct {
+	ID    string
+	Title string
+	// DatasetSize is the full configuration-space size.
+	DatasetSize int
+	Series      []Series
+	Notes       []string
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dataset: %d configurations\n", r.DatasetSize)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n%s (%d repetitions per point)\n", s.Label, s.Reps)
+		fmt.Fprintf(w, "  %10s  %12s  %10s  %12s\n", "train", "mean MAPE%", "std", "median MAPE%")
+		for i := range s.Fractions {
+			fmt.Fprintf(w, "  %9.1f%%  %12.2f  %10.2f  %12.2f\n",
+				s.Fractions[i]*100, s.MeanMAPE[i], s.StdMAPE[i], s.MedianMAPE[i])
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Fig3Stencil regenerates Fig. 3(A): MAPE of decision trees, extra
+// trees and random forests on the stencil blocking dataset at training
+// fractions {1, 2, 4, 6, 10}%.
+func Fig3Stencil(opts Options) (*Report, error) {
+	o := opts.normalized()
+	ds, err := StencilBlockingDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	fractions := []float64{0.01, 0.02, 0.04, 0.06, 0.10}
+	r := &Report{
+		ID:          "fig3a",
+		Title:       "pure-ML model comparison, stencil (X = I,J,K,bi,bj,bk)",
+		DatasetSize: ds.Len(),
+	}
+	for _, kind := range []struct{ key, label string }{
+		{"dt", "Decision Trees"}, {"et", "Extra Trees"}, {"rf", "Random Forests"},
+	} {
+		s, err := MAPECurve(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
+			fractions, o.Reps, o.Seed, kind.label)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// Fig3FMM regenerates Fig. 3(B): the same three models on the FMM
+// dataset at training fractions {10, 20, 40, 60, 80}%.
+func Fig3FMM(opts Options) (*Report, error) {
+	o := opts.normalized()
+	ds, err := FMMDataset(NewFMMSim(o.Machine, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	fractions := []float64{0.10, 0.20, 0.40, 0.60, 0.80}
+	r := &Report{
+		ID:          "fig3b",
+		Title:       "pure-ML model comparison, FMM (X = t,N,q,k)",
+		DatasetSize: ds.Len(),
+	}
+	for _, kind := range []struct{ key, label string }{
+		{"dt", "Decision Trees"}, {"et", "Extra Trees"}, {"rf", "Random Forests"},
+	} {
+		s, err := MAPECurve(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
+			fractions, o.Reps, o.Seed, kind.label)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// hybridVsET builds the standard two-panel comparison the paper uses in
+// Figs. 5–8: extra trees at the larger fractions, the hybrid model at
+// the smaller ones, plus the standalone AM MAPE as a note.
+func hybridVsET(id, title string, ds *dataset.Dataset, am hybrid.AnalyticalModel,
+	etFractions, hyFractions []float64, cfg hybrid.Config, o Options) (*Report, error) {
+	r := &Report{ID: id, Title: title, DatasetSize: ds.Len()}
+
+	amMAPE, err := hybrid.AnalyticalMAPE(ds, am)
+	if err != nil {
+		return nil, err
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("standalone analytical model MAPE = %.1f%% (untuned)", amMAPE))
+
+	et, err := MAPECurve(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
+		etFractions, o.Reps, o.Seed, "Extra Trees (pure ML)")
+	if err != nil {
+		return nil, err
+	}
+	r.Series = append(r.Series, et)
+
+	hy, err := MAPECurve(ds, HybridTrainable(am, cfg),
+		hyFractions, o.Reps, o.Seed, "Hybrid Model")
+	if err != nil {
+		return nil, err
+	}
+	r.Series = append(r.Series, hy)
+	return r, nil
+}
+
+// Fig5 regenerates Fig. 5: grid-size-only stencil dataset, where the
+// analytical model is accurate. Extra trees at {10, 15, 20}%, hybrid at
+// {1, 2, 4}%; aggregation enabled (the AM is representative).
+func Fig5(opts Options) (*Report, error) {
+	o := opts.normalized()
+	ds, err := StencilGridDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return hybridVsET("fig5",
+		"stencil, grid sizes only (accurate AM); hybrid needs 5-10x less data",
+		ds, StencilGridAM(o.Machine),
+		[]float64{0.10, 0.15, 0.20}, []float64{0.01, 0.02, 0.04},
+		hybrid.Config{Aggregate: false}, o)
+}
+
+// Fig6 regenerates Fig. 6: grid sizes + loop blocking with the untuned
+// blocking AM (paper: AM MAPE = 42%); both models at {1, 2, 4}%.
+func Fig6(opts Options) (*Report, error) {
+	o := opts.normalized()
+	ds, err := StencilBlockingDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return hybridVsET("fig6",
+		"stencil, grid sizes + loop blocking (inaccurate AM)",
+		ds, StencilBlockingAM(o.Machine),
+		[]float64{0.01, 0.02, 0.04}, []float64{0.01, 0.02, 0.04},
+		hybrid.Config{Aggregate: false}, o)
+}
+
+// Fig7 regenerates Fig. 7: multithreaded stencil with the serial AM.
+// Aggregation is disabled, as in the paper ("we do not aggregate ...
+// as the analytical models do not capture the parallelism").
+func Fig7(opts Options) (*Report, error) {
+	o := opts.normalized()
+	ds, err := StencilThreadsDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return hybridVsET("fig7",
+		"stencil, multithreaded (serial AM, stacking only)",
+		ds, StencilThreadsAM(o.Machine),
+		[]float64{0.01, 0.02, 0.04}, []float64{0.01, 0.02, 0.04},
+		hybrid.Config{Aggregate: false}, o)
+}
+
+// Fig8 regenerates Fig. 8: the FMM workload with the untuned
+// single-core AM (paper: AM MAPE = 84.5%); extra trees and hybrid at
+// {15, 20, 25}%.
+func Fig8(opts Options) (*Report, error) {
+	o := opts.normalized()
+	ds, err := FMMDataset(NewFMMSim(o.Machine, uint64(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return hybridVsET("fig8",
+		"FMM, X = (t,N,q,k) (highly inaccurate AM, stacking only)",
+		ds, FMMAM(o.Machine),
+		[]float64{0.15, 0.20, 0.25}, []float64{0.15, 0.20, 0.25},
+		hybrid.Config{Aggregate: false}, o)
+}
+
+// Run regenerates one figure by id: fig3a, fig3b, fig5, fig6, fig7 or
+// fig8.
+func Run(id string, opts Options) (*Report, error) {
+	switch id {
+	case "fig3a", "3a":
+		return Fig3Stencil(opts)
+	case "fig3b", "3b":
+		return Fig3FMM(opts)
+	case "fig5", "5":
+		return Fig5(opts)
+	case "fig6", "6":
+		return Fig6(opts)
+	case "fig7", "7":
+		return Fig7(opts)
+	case "fig8", "8":
+		return Fig8(opts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// AllFigureIDs lists the reproducible figures in paper order.
+func AllFigureIDs() []string {
+	return []string{"fig3a", "fig3b", "fig5", "fig6", "fig7", "fig8"}
+}

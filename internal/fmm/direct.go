@@ -1,0 +1,59 @@
+package fmm
+
+import "math"
+
+// invSqrt returns 1/sqrt(v). Isolated so the hot P2P loop has a single
+// call site.
+func invSqrt(v float64) float64 { return 1 / math.Sqrt(v) }
+
+// Direct computes the exact O(N²) pairwise potentials
+// Φ(y_j) = Σ_{i≠j} q_i / |y_j − x_i| in place, parallel over targets
+// with the given thread count (0 means serial). It is the accuracy
+// oracle for the FMM and the paper's "direct approach" baseline
+// (Section II.B).
+func Direct(particles []Particle, threads int) {
+	n := len(particles)
+	if threads < 1 {
+		threads = 1
+	}
+	parallelFor(n, threads, func(_, j int) {
+		tx, ty, tz := particles[j].X, particles[j].Y, particles[j].Z
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			dx := tx - particles[i].X
+			dy := ty - particles[i].Y
+			dz := tz - particles[i].Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue
+			}
+			acc += particles[i].Q * invSqrt(r2)
+		}
+		particles[j].Phi = acc
+	})
+}
+
+// UniformCube places n particles uniformly at random in the unit cube
+// with unit charges scaled to sum to one, using the deterministic
+// splitmix-style stream seeded by seed. This is the paper's benchmark
+// distribution ("random distribution of particles in a cube").
+func UniformCube(n int, seed uint64) []Particle {
+	ps := make([]Particle, n)
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	q := 1 / float64(n)
+	for i := range ps {
+		ps[i] = Particle{X: next(), Y: next(), Z: next(), Q: q}
+	}
+	return ps
+}

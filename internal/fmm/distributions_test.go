@@ -1,0 +1,62 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlummerDeterministicAndCentred(t *testing.T) {
+	a := PlummerSphere(500, 3)
+	b := PlummerSphere(500, 3)
+	cx, cy, cz := 0.0, 0.0, 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PlummerSphere not deterministic")
+		}
+		cx += a[i].X
+		cy += a[i].Y
+		cz += a[i].Z
+	}
+	n := float64(len(a))
+	if math.Abs(cx/n-0.5) > 0.05 || math.Abs(cy/n-0.5) > 0.05 || math.Abs(cz/n-0.5) > 0.05 {
+		t.Errorf("centroid (%v, %v, %v), want ~(0.5, 0.5, 0.5)", cx/n, cy/n, cz/n)
+	}
+}
+
+func TestPlummerIsClustered(t *testing.T) {
+	// The Plummer core concentrates mass: the tree must be deeper than
+	// for the same number of uniform particles.
+	plummer := PlummerSphere(2000, 1)
+	uniform := UniformCube(2000, 1)
+	tp, err := BuildTree(plummer, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := BuildTree(uniform, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Depth() <= tu.Depth() {
+		t.Errorf("plummer depth %d should exceed uniform depth %d", tp.Depth(), tu.Depth())
+	}
+	if err := tp.Validate(len(plummer)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFMMAccurateOnClusteredDistribution(t *testing.T) {
+	// The adaptive tree + dual-tree traversal must stay accurate on a
+	// strongly non-uniform distribution.
+	ps := PlummerSphere(1200, 7)
+	ref := make([]Particle, len(ps))
+	copy(ref, ps)
+	Direct(ref, 4)
+	run := make([]Particle, len(ps))
+	copy(run, ps)
+	if _, err := Evaluate(run, Config{Order: 5, LeafCap: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErrNorm(run, ref); e > 2e-3 {
+		t.Errorf("clustered rel error %v, want < 2e-3", e)
+	}
+}

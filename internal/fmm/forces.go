@@ -1,0 +1,168 @@
+package fmm
+
+import "math"
+
+// Force evaluation. ExaFMM computes accelerations alongside potentials;
+// with Cartesian local expansions the field is the (negated) gradient
+// of the local polynomial, and P2P contributes the familiar
+// q·r/|r|³ terms.
+
+// L2PGrad evaluates the gradient of a local expansion about c at
+// (x, y, z): ∂φ/∂x_d = Σ_β L_β β_d (p−c)^{β−e_d}.
+func L2PGrad(s *MultiIndexSet, l []float64, cx, cy, cz, x, y, z float64) (gx, gy, gz float64) {
+	dx, dy, dz := x-cx, y-cy, z-cz
+	for bi, b := range s.Idx {
+		if b[0] > 0 {
+			gx += l[bi] * float64(b[0]) * Power(dx, dy, dz, [3]int{b[0] - 1, b[1], b[2]})
+		}
+		if b[1] > 0 {
+			gy += l[bi] * float64(b[1]) * Power(dx, dy, dz, [3]int{b[0], b[1] - 1, b[2]})
+		}
+		if b[2] > 0 {
+			gz += l[bi] * float64(b[2]) * Power(dx, dy, dz, [3]int{b[0], b[1], b[2] - 1})
+		}
+	}
+	return gx, gy, gz
+}
+
+// ForceParticle extends Particle with the field vector F = −∇φ.
+type ForceParticle struct {
+	Particle
+	FX, FY, FZ float64
+}
+
+// EvaluateForces computes potentials and fields for every particle:
+// Φ(y_j) = Σ q_i/|y_j−x_i| and F(y_j) = Σ q_i (y_j−x_i)/|y_j−x_i|³
+// (self-interactions excluded). It reuses the potential pipeline in
+// Evaluate for the far field and adds gradient evaluation at the leaf
+// stage; the near field accumulates exact pairwise forces.
+func EvaluateForces(particles []ForceParticle, cfg Config) (*Stats, error) {
+	c, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	base := make([]Particle, len(particles))
+	for i := range particles {
+		particles[i].Phi, particles[i].FX, particles[i].FY, particles[i].FZ = 0, 0, 0, 0
+		base[i] = particles[i].Particle
+	}
+	tree, err := BuildTree(base, c.LeafCap, c.MaxDepth)
+	if err != nil {
+		return nil, err
+	}
+	set, err := NewMultiIndexSet(c.Order)
+	if err != nil {
+		return nil, err
+	}
+
+	px := make([]float64, len(base))
+	py := make([]float64, len(base))
+	pz := make([]float64, len(base))
+	pq := make([]float64, len(base))
+	for i, p := range base {
+		px[i], py[i], pz[i], pq[i] = p.X, p.Y, p.Z, p.Q
+	}
+	upward(tree.Root, set, px, py, pz, pq)
+
+	m2lByTarget := map[*Cell][]*Cell{}
+	p2pByTarget := map[*Cell][]*Cell{}
+	st := &Stats{Cells: len(tree.Cells), TreeDepth: tree.Depth()}
+	traverse(tree.Root, tree.Root, c.Theta, m2lByTarget, p2pByTarget, st)
+
+	targets := make([]*Cell, 0, len(m2lByTarget))
+	for t := range m2lByTarget {
+		t.L = make([]float64, set.Len())
+		targets = append(targets, t)
+	}
+	runM2L(targets, m2lByTarget, set, c.Threads)
+	downward(tree.Root, set, nil)
+
+	leaves := tree.Leaves()
+	st.Leaves = len(leaves)
+
+	parallelFor(len(leaves), c.Threads, func(_, li int) {
+		leaf := leaves[li]
+		if leaf.L != nil {
+			for _, i := range leaf.Particles {
+				p := &particles[i]
+				p.Phi += L2P(set, leaf.L, leaf.CX, leaf.CY, leaf.CZ, p.X, p.Y, p.Z)
+				gx, gy, gz := L2PGrad(set, leaf.L, leaf.CX, leaf.CY, leaf.CZ, p.X, p.Y, p.Z)
+				p.FX -= gx
+				p.FY -= gy
+				p.FZ -= gz
+			}
+		}
+		for _, src := range p2pByTarget[leaf] {
+			p2pForces(particles, leaf.Particles, src.Particles, leaf == src)
+		}
+	})
+	for t, srcs := range p2pByTarget {
+		for _, s := range srcs {
+			st.P2PInteractions += len(t.Particles) * len(s.Particles)
+		}
+	}
+	return st, nil
+}
+
+// p2pForces accumulates exact near-field potentials and forces.
+func p2pForces(ps []ForceParticle, targets, sources []int, same bool) {
+	for _, ti := range targets {
+		t := &ps[ti]
+		phi, fx, fy, fz := 0.0, 0.0, 0.0, 0.0
+		for _, si := range sources {
+			if same && si == ti {
+				continue
+			}
+			dx := t.X - ps[si].X
+			dy := t.Y - ps[si].Y
+			dz := t.Z - ps[si].Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue
+			}
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv / r2
+			q := ps[si].Q
+			phi += q * inv
+			fx += q * dx * inv3
+			fy += q * dy * inv3
+			fz += q * dz * inv3
+		}
+		t.Phi += phi
+		t.FX += fx
+		t.FY += fy
+		t.FZ += fz
+	}
+}
+
+// DirectForces is the exact O(N²) potential+force baseline.
+func DirectForces(ps []ForceParticle, threads int) {
+	n := len(ps)
+	if threads < 1 {
+		threads = 1
+	}
+	parallelFor(n, threads, func(_, j int) {
+		t := &ps[j]
+		phi, fx, fy, fz := 0.0, 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			dx := t.X - ps[i].X
+			dy := t.Y - ps[i].Y
+			dz := t.Z - ps[i].Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue
+			}
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv / r2
+			q := ps[i].Q
+			phi += q * inv
+			fx += q * dx * inv3
+			fy += q * dy * inv3
+			fz += q * dz * inv3
+		}
+		t.Phi, t.FX, t.FY, t.FZ = phi, fx, fy, fz
+	})
+}

@@ -1,0 +1,143 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+)
+
+func toForceParticles(ps []Particle) []ForceParticle {
+	out := make([]ForceParticle, len(ps))
+	for i, p := range ps {
+		out[i] = ForceParticle{Particle: p}
+	}
+	return out
+}
+
+func TestDirectForcesTwoBody(t *testing.T) {
+	ps := []ForceParticle{
+		{Particle: Particle{X: 0, Y: 0, Z: 0, Q: 1}},
+		{Particle: Particle{X: 2, Y: 0, Z: 0, Q: 3}},
+	}
+	DirectForces(ps, 1)
+	// Field at particle 0 from charge 3 at distance 2, pointing from
+	// source to target: direction (-1, 0, 0), magnitude 3/4.
+	if math.Abs(ps[0].FX+0.75) > 1e-14 || ps[0].FY != 0 || ps[0].FZ != 0 {
+		t.Errorf("F0 = (%v, %v, %v), want (-0.75, 0, 0)", ps[0].FX, ps[0].FY, ps[0].FZ)
+	}
+	if math.Abs(ps[1].FX-0.25) > 1e-14 {
+		t.Errorf("F1x = %v, want 0.25", ps[1].FX)
+	}
+	if math.Abs(ps[0].Phi-1.5) > 1e-14 {
+		t.Errorf("Phi0 = %v, want 1.5", ps[0].Phi)
+	}
+}
+
+func TestL2PGradMatchesFiniteDifference(t *testing.T) {
+	s, _ := NewMultiIndexSet(5)
+	l := make([]float64, s.Len())
+	for i := range l {
+		l[i] = math.Sin(float64(i)) / float64(i+1)
+	}
+	cx, cy, cz := 0.3, -0.2, 0.1
+	x, y, z := 0.5, 0.1, -0.15
+	const h = 1e-6
+	gx, gy, gz := L2PGrad(s, l, cx, cy, cz, x, y, z)
+	fdx := (L2P(s, l, cx, cy, cz, x+h, y, z) - L2P(s, l, cx, cy, cz, x-h, y, z)) / (2 * h)
+	fdy := (L2P(s, l, cx, cy, cz, x, y+h, z) - L2P(s, l, cx, cy, cz, x, y-h, z)) / (2 * h)
+	fdz := (L2P(s, l, cx, cy, cz, x, y, z+h) - L2P(s, l, cx, cy, cz, x, y, z-h)) / (2 * h)
+	if math.Abs(gx-fdx) > 1e-6 || math.Abs(gy-fdy) > 1e-6 || math.Abs(gz-fdz) > 1e-6 {
+		t.Errorf("grad (%v, %v, %v) vs FD (%v, %v, %v)", gx, gy, gz, fdx, fdy, fdz)
+	}
+}
+
+func forceRelErr(run, ref []ForceParticle) float64 {
+	num, den := 0.0, 0.0
+	for i := range run {
+		dx := run[i].FX - ref[i].FX
+		dy := run[i].FY - ref[i].FY
+		dz := run[i].FZ - ref[i].FZ
+		num += dx*dx + dy*dy + dz*dz
+		den += ref[i].FX*ref[i].FX + ref[i].FY*ref[i].FY + ref[i].FZ*ref[i].FZ
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestEvaluateForcesMatchesDirect(t *testing.T) {
+	ps := toForceParticles(UniformCube(1000, 11))
+	ref := make([]ForceParticle, len(ps))
+	copy(ref, ps)
+	DirectForces(ref, 4)
+	run := make([]ForceParticle, len(ps))
+	copy(run, ps)
+	st, err := EvaluateForces(run, Config{Order: 6, LeafCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leaves == 0 {
+		t.Error("no leaves in stats")
+	}
+	if e := forceRelErr(run, ref); e > 5e-3 {
+		t.Errorf("force rel error %v, want < 5e-3", e)
+	}
+	// Potentials must match the potential-only pipeline too.
+	phiRun := make([]Particle, len(ps))
+	for i := range ps {
+		phiRun[i] = ps[i].Particle
+	}
+	if _, err := Evaluate(phiRun, Config{Order: 6, LeafCap: 32}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range run {
+		if math.Abs(run[i].Phi-phiRun[i].Phi) > 1e-12*(1+math.Abs(phiRun[i].Phi)) {
+			t.Fatalf("particle %d: force-pipeline phi %v vs potential pipeline %v",
+				i, run[i].Phi, phiRun[i].Phi)
+		}
+	}
+}
+
+func TestEvaluateForcesAccuracyImprovesWithOrder(t *testing.T) {
+	ps := toForceParticles(UniformCube(600, 12))
+	ref := make([]ForceParticle, len(ps))
+	copy(ref, ps)
+	DirectForces(ref, 4)
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 6} {
+		run := make([]ForceParticle, len(ps))
+		copy(run, ps)
+		if _, err := EvaluateForces(run, Config{Order: k, LeafCap: 24}); err != nil {
+			t.Fatal(err)
+		}
+		e := forceRelErr(run, ref)
+		if e >= prev {
+			t.Errorf("order %d force error %v did not improve on %v", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestEvaluateForcesNewtonThirdLawNet(t *testing.T) {
+	// Net force over all equal-charge particles must vanish (momentum
+	// conservation) to truncation accuracy.
+	ps := toForceParticles(UniformCube(800, 13))
+	if _, err := EvaluateForces(ps, Config{Order: 5, LeafCap: 32}); err != nil {
+		t.Fatal(err)
+	}
+	var sx, sy, sz, mag float64
+	for _, p := range ps {
+		sx += p.FX
+		sy += p.FY
+		sz += p.FZ
+		mag += math.Abs(p.FX) + math.Abs(p.FY) + math.Abs(p.FZ)
+	}
+	net := math.Abs(sx) + math.Abs(sy) + math.Abs(sz)
+	if net > 1e-3*mag {
+		t.Errorf("net force %v not small vs total magnitude %v", net, mag)
+	}
+}
+
+func TestEvaluateForcesConfigValidation(t *testing.T) {
+	ps := toForceParticles(UniformCube(10, 14))
+	if _, err := EvaluateForces(ps, Config{Order: 0, LeafCap: 8}); err == nil {
+		t.Error("expected order validation error")
+	}
+}

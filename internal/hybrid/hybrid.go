@@ -1,0 +1,232 @@
+// Package hybrid implements the paper's contribution (Section VI): a
+// performance predictor that couples an analytical model with a machine
+// learning model through two ensemble devices.
+//
+//  1. Stacking: the analytical model's prediction is appended to every
+//     feature vector and an ML regressor (extra trees by default) is
+//     trained on the augmented features, letting it "learn and correct"
+//     the analytical model.
+//  2. Bagging-style aggregation (optional): the analytical and stacked
+//     predictions are averaged, reducing variance when the analytical
+//     model is representative of the code. The paper disables this when
+//     the analytical model misses whole effects (Fig. 7: a serial AM
+//     paired with a multithreaded code).
+//
+// Training follows Fig. 4 of the paper: the model is constructed once
+// offline from a (small) training dataset and then queried many times.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"lam/internal/dataset"
+	"lam/internal/ml"
+)
+
+// AnalyticalModel scores a raw (unscaled) feature vector with a
+// closed-form performance model. Implementations adapt the typed models
+// in internal/analytical to each dataset's feature layout.
+type AnalyticalModel interface {
+	Predict(x []float64) (float64, error)
+}
+
+// AnalyticalFunc adapts a plain function to AnalyticalModel.
+type AnalyticalFunc func(x []float64) (float64, error)
+
+// Predict implements AnalyticalModel.
+func (f AnalyticalFunc) Predict(x []float64) (float64, error) { return f(x) }
+
+// Mode selects how the ML component consumes the analytical prediction.
+type Mode int
+
+const (
+	// StackMode appends the analytical prediction as an extra feature
+	// (the paper's method).
+	StackMode Mode = iota
+	// ResidualMode trains the ML model on y − AM(x) and adds the AM
+	// back at prediction time (the Didona et al. alternative; kept for
+	// the ablation benches).
+	ResidualMode
+	// RatioMode trains the ML model on y / AM(x) and multiplies at
+	// prediction time.
+	RatioMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case StackMode:
+		return "stack"
+	case ResidualMode:
+		return "residual"
+	case RatioMode:
+		return "ratio"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config tunes the hybrid model. The zero value reproduces the paper's
+// setup: stacking with a standardising extra-trees pipeline and no
+// aggregation.
+type Config struct {
+	// NewML constructs the untrained ML component; nil means a
+	// StandardScaler + 100-tree extra-trees pipeline, the paper's
+	// best-performing estimator.
+	NewML func() ml.Regressor
+	// Mode selects stacking (default), residual or ratio coupling.
+	Mode Mode
+	// Aggregate enables the bagging-style averaging of the analytical
+	// and stacked predictions (paper Fig. 4, "optional").
+	Aggregate bool
+	// AggregateWeight is the weight of the stacked model in the
+	// aggregate; 0 means 0.5 (the plain average of the two predictors).
+	AggregateWeight float64
+	// Seed drives the ML component's randomness.
+	Seed int64
+}
+
+func (c Config) newML() ml.Regressor {
+	if c.NewML != nil {
+		return c.NewML()
+	}
+	return &ml.Pipeline{Model: ml.NewExtraTrees(100, c.Seed)}
+}
+
+// Model is a trained hybrid predictor.
+type Model struct {
+	cfg       Config
+	am        AnalyticalModel
+	mlModel   ml.Regressor
+	nFeatures int
+}
+
+// Train builds a hybrid model from a training dataset and an analytical
+// model, following the paper's training algorithm: score every training
+// sample with the AM, augment (or transform) the features, fit the ML
+// component.
+func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, error) {
+	if am == nil {
+		return nil, errors.New("hybrid: analytical model required")
+	}
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("hybrid: empty training set")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	amPred := make([]float64, train.Len())
+	for i, x := range train.X {
+		p, err := am.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: analytical model on training sample %d: %w", i, err)
+		}
+		amPred[i] = p
+	}
+
+	m := &Model{cfg: cfg, am: am, nFeatures: train.NumFeatures()}
+	mlModel := cfg.newML()
+	switch cfg.Mode {
+	case StackMode:
+		aug, err := train.WithFeature("__analytical", amPred)
+		if err != nil {
+			return nil, err
+		}
+		if err := mlModel.Fit(aug.X, aug.Y); err != nil {
+			return nil, err
+		}
+	case ResidualMode:
+		res := make([]float64, train.Len())
+		for i := range res {
+			res[i] = train.Y[i] - amPred[i]
+		}
+		if err := mlModel.Fit(train.X, res); err != nil {
+			return nil, err
+		}
+	case RatioMode:
+		ratio := make([]float64, train.Len())
+		for i := range ratio {
+			if amPred[i] == 0 {
+				return nil, fmt.Errorf("hybrid: ratio mode with zero analytical prediction at sample %d", i)
+			}
+			ratio[i] = train.Y[i] / amPred[i]
+		}
+		if err := mlModel.Fit(train.X, ratio); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("hybrid: unknown mode %v", cfg.Mode)
+	}
+	m.mlModel = mlModel
+	return m, nil
+}
+
+// Predict scores one feature vector: run the AM, couple it with the ML
+// component per the mode, optionally aggregate.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != m.nFeatures {
+		return 0, fmt.Errorf("hybrid: predict got %d features, want %d", len(x), m.nFeatures)
+	}
+	amP, err := m.am.Predict(x)
+	if err != nil {
+		return 0, fmt.Errorf("hybrid: analytical model: %w", err)
+	}
+	var stacked float64
+	switch m.cfg.Mode {
+	case StackMode:
+		aug := make([]float64, len(x)+1)
+		copy(aug, x)
+		aug[len(x)] = amP
+		stacked = m.mlModel.Predict(aug)
+	case ResidualMode:
+		stacked = amP + m.mlModel.Predict(x)
+	case RatioMode:
+		stacked = amP * m.mlModel.Predict(x)
+	}
+	if !m.cfg.Aggregate {
+		return stacked, nil
+	}
+	w := m.cfg.AggregateWeight
+	if w == 0 {
+		w = 0.5
+	}
+	return w*stacked + (1-w)*amP, nil
+}
+
+// PredictBatch scores every row of a dataset.
+func (m *Model) PredictBatch(ds *dataset.Dataset) ([]float64, error) {
+	out := make([]float64, ds.Len())
+	for i, x := range ds.X {
+		p, err := m.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// MAPE evaluates the trained model on a held-out dataset and returns
+// the paper's headline metric.
+func (m *Model) MAPE(test *dataset.Dataset) (float64, error) {
+	pred, err := m.PredictBatch(test)
+	if err != nil {
+		return 0, err
+	}
+	return ml.MAPE(test.Y, pred), nil
+}
+
+// AnalyticalMAPE scores the analytical model alone on a dataset — the
+// paper quotes these untuned baselines (42% for blocked stencil, 84.5%
+// for FMM).
+func AnalyticalMAPE(ds *dataset.Dataset, am AnalyticalModel) (float64, error) {
+	pred := make([]float64, ds.Len())
+	for i, x := range ds.X {
+		p, err := am.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		pred[i] = p
+	}
+	return ml.MAPE(ds.Y, pred), nil
+}

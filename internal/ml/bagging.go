@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+
+	"lam/internal/xmath"
+)
+
+// Bagging is Breiman's bootstrap-aggregation meta-estimator over an
+// arbitrary base regressor: N base models are fitted on bootstrap
+// resamples and their predictions averaged. The paper uses bagging as
+// the variance-reduction component of the hybrid model (Section VI).
+type Bagging struct {
+	// NewBase constructs one untrained base model. Required.
+	NewBase func() Regressor
+	// N is the number of base models; values below 1 are treated as 10.
+	N int
+	// SampleFrac is the bootstrap sample size as a fraction of the
+	// training set; values outside (0, 1] are treated as 1.
+	SampleFrac float64
+	// Seed drives the bootstrap resampling.
+	Seed int64
+
+	models []Regressor
+}
+
+// Fit trains the ensemble on bootstrap resamples of (X, y).
+func (b *Bagging) Fit(X [][]float64, y []float64) error {
+	if b.NewBase == nil {
+		return errors.New("ml: Bagging requires NewBase")
+	}
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	n := b.N
+	if n < 1 {
+		n = 10
+	}
+	frac := b.SampleFrac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	size := int(frac * float64(len(X)))
+	if size < 1 {
+		size = 1
+	}
+	b.models = b.models[:0]
+	for t := 0; t < n; t++ {
+		rng := rand.New(rand.NewSource(int64(xmath.Hash64(uint64(b.Seed), uint64(t), 0x62616767))))
+		bx := make([][]float64, size)
+		by := make([]float64, size)
+		for i := 0; i < size; i++ {
+			j := rng.Intn(len(X))
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		m := b.NewBase()
+		if err := m.Fit(bx, by); err != nil {
+			return err
+		}
+		b.models = append(b.models, m)
+	}
+	return nil
+}
+
+// Predict returns the mean prediction of the ensemble.
+func (b *Bagging) Predict(x []float64) float64 {
+	if len(b.models) == 0 {
+		panic("ml: Bagging.Predict called before Fit")
+	}
+	s := 0.0
+	for _, m := range b.models {
+		s += m.Predict(x)
+	}
+	return s / float64(len(b.models))
+}
+
+// NumModels returns the number of fitted base models.
+func (b *Bagging) NumModels() int { return len(b.models) }

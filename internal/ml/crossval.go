@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KFoldIndices partitions 0..n-1 into k shuffled folds whose sizes
+// differ by at most one. k is clamped to [2, n].
+func KFoldIndices(n, k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		f := i % k
+		folds[f] = append(folds[f], idx)
+	}
+	return folds
+}
+
+// CrossValScore runs k-fold cross-validation of the model produced by
+// newModel, scoring each held-out fold with score (e.g. MAPE), and
+// returns the per-fold scores.
+func CrossValScore(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, score func(yTrue, yPred []float64) float64) ([]float64, error) {
+	if _, err := checkXY(X, y); err != nil {
+		return nil, err
+	}
+	n := len(X)
+	folds := KFoldIndices(n, k, rand.New(rand.NewSource(seed)))
+	scores := make([]float64, 0, len(folds))
+	inFold := make([]bool, n)
+	for f, fold := range folds {
+		for i := range inFold {
+			inFold[i] = false
+		}
+		for _, i := range fold {
+			inFold[i] = true
+		}
+		trX := make([][]float64, 0, n-len(fold))
+		trY := make([]float64, 0, n-len(fold))
+		for i := 0; i < n; i++ {
+			if !inFold[i] {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		m := newModel()
+		if err := m.Fit(trX, trY); err != nil {
+			return nil, fmt.Errorf("ml: cross-validation fold %d: %w", f, err)
+		}
+		yt := make([]float64, len(fold))
+		yp := make([]float64, len(fold))
+		for j, i := range fold {
+			yt[j] = y[i]
+			yp[j] = m.Predict(X[i])
+		}
+		scores = append(scores, score(yt, yp))
+	}
+	return scores, nil
+}

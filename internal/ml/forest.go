@@ -1,0 +1,153 @@
+package ml
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"lam/internal/xmath"
+)
+
+// Forest is an ensemble of regression trees averaged at prediction time.
+// Configured one way it is a random forest (bootstrap + best splits),
+// configured another it is extra trees (full sample + random splits).
+// Use NewRandomForest / NewExtraTrees for the two canonical presets.
+type Forest struct {
+	// NTrees is the ensemble size; values below 1 are treated as 100
+	// (the scikit-learn default the paper inherits).
+	NTrees int
+	// Tree configures every member tree; the per-tree Seed field is
+	// overwritten with a value derived from Seed and the tree index.
+	Tree TreeConfig
+	// Bootstrap draws each tree's training set with replacement.
+	Bootstrap bool
+	// Seed drives bootstrap sampling and per-tree randomness.
+	Seed int64
+	// Workers bounds fitting parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	trees     []*DecisionTree
+	nFeatures int
+}
+
+// NewRandomForest returns a Breiman random forest: bootstrap resampling
+// and exact CART splits over all features (the scikit-learn regression
+// default of max_features = n_features).
+func NewRandomForest(nTrees int, seed int64) *Forest {
+	return &Forest{
+		NTrees:    nTrees,
+		Tree:      TreeConfig{Splitter: BestSplitter},
+		Bootstrap: true,
+		Seed:      seed,
+	}
+}
+
+// NewExtraTrees returns an extremely randomized trees ensemble: each
+// tree sees the full training set and splits on random thresholds. This
+// is the best-performing pure-ML model in the paper (Fig. 3) and the ML
+// component of the hybrid model.
+func NewExtraTrees(nTrees int, seed int64) *Forest {
+	return &Forest{
+		NTrees:    nTrees,
+		Tree:      TreeConfig{Splitter: RandomSplitter},
+		Bootstrap: false,
+		Seed:      seed,
+	}
+}
+
+// Fit grows the ensemble. Trees are grown concurrently but the result is
+// independent of scheduling: every tree's randomness derives only from
+// (Seed, tree index).
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+	nTrees := f.NTrees
+	if nTrees < 1 {
+		nTrees = 100
+	}
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nTrees {
+		workers = nTrees
+	}
+
+	trees := make([]*DecisionTree, nTrees)
+	errs := make([]error, nTrees)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for t := 0; t < nTrees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			treeSeed := int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x7265657301))
+			cfg := f.Tree
+			cfg.Seed = treeSeed
+
+			tx, ty := X, y
+			if f.Bootstrap {
+				rng := rand.New(rand.NewSource(int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x626f6f74))))
+				bx := make([][]float64, n)
+				by := make([]float64, n)
+				for i := 0; i < n; i++ {
+					j := rng.Intn(n)
+					bx[i] = X[j]
+					by[i] = y[j]
+				}
+				tx, ty = bx, by
+			}
+			tree := NewDecisionTree(cfg)
+			errs[t] = tree.Fit(tx, ty)
+			trees[t] = tree
+		}(t)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	f.trees = trees
+	f.nFeatures = p
+	return nil
+}
+
+// Predict returns the mean prediction of all member trees.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		panic("ml: Forest.Predict called before Fit")
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// NumTrees returns the number of fitted member trees.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// FeatureImportances averages the member trees' impurity-decrease
+// importances. The returned slice is a copy; it is all zeros when no
+// tree managed a split.
+func (f *Forest) FeatureImportances() []float64 {
+	out := make([]float64, f.nFeatures)
+	if len(f.trees) == 0 {
+		return out
+	}
+	for _, t := range f.trees {
+		for i, v := range t.FeatureImportances() {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lam/internal/xmath"
+)
+
+// newSeededRand derives an independent deterministic stream from a base
+// seed and a stream index.
+func newSeededRand(seed, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(xmath.Hash64(uint64(seed), uint64(stream), 0x676272))))
+}
+
+// GradientBoosting is a least-squares gradient-boosted trees regressor:
+// shallow CART trees fitted stage-wise to the residuals, scaled by a
+// learning rate. It completes the ensemble family around the paper's
+// bagging/stacking methods and serves as an additional baseline in the
+// ablation benches.
+type GradientBoosting struct {
+	// NStages is the number of boosting rounds; values below 1 are
+	// treated as 100.
+	NStages int
+	// LearningRate shrinks each stage's contribution; values outside
+	// (0, 1] are treated as 0.1.
+	LearningRate float64
+	// MaxDepth bounds each stage's tree; values below 1 are treated as
+	// 3 (the classic boosting weak learner).
+	MaxDepth int
+	// MinSamplesLeaf is forwarded to the stage trees.
+	MinSamplesLeaf int
+	// Subsample draws a fraction of the training set per stage
+	// (stochastic gradient boosting); values outside (0, 1] mean 1.
+	Subsample float64
+	// Seed drives subsampling and stage-tree randomness.
+	Seed int64
+
+	init   float64
+	stages []*DecisionTree
+	rate   float64
+}
+
+// Fit runs stage-wise least-squares boosting.
+func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	stagesN := g.NStages
+	if stagesN < 1 {
+		stagesN = 100
+	}
+	rate := g.LearningRate
+	if rate <= 0 || rate > 1 {
+		rate = 0.1
+	}
+	depth := g.MaxDepth
+	if depth < 1 {
+		depth = 3
+	}
+	sub := g.Subsample
+	if sub <= 0 || sub > 1 {
+		sub = 1
+	}
+
+	// Initial prediction: the mean.
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	g.init = mean
+	g.rate = rate
+	g.stages = g.stages[:0]
+
+	current := make([]float64, n)
+	for i := range current {
+		current[i] = mean
+	}
+	residual := make([]float64, n)
+	subN := int(sub * float64(n))
+	if subN < 1 {
+		subN = 1
+	}
+	for s := 0; s < stagesN; s++ {
+		for i := range residual {
+			residual[i] = y[i] - current[i]
+		}
+		tx, ty := X, residual
+		if subN < n {
+			// Deterministic per-stage subsample.
+			rng := newSeededRand(g.Seed, int64(s))
+			perm := rng.Perm(n)[:subN]
+			tx = make([][]float64, subN)
+			ty = make([]float64, subN)
+			for k, i := range perm {
+				tx[k] = X[i]
+				ty[k] = residual[i]
+			}
+		}
+		tree := NewDecisionTree(TreeConfig{
+			MaxDepth:       depth,
+			MinSamplesLeaf: g.MinSamplesLeaf,
+			Seed:           g.Seed + int64(s)*7919,
+		})
+		if err := tree.Fit(tx, ty); err != nil {
+			return fmt.Errorf("ml: boosting stage %d: %w", s, err)
+		}
+		g.stages = append(g.stages, tree)
+		for i := range current {
+			current[i] += rate * tree.Predict(X[i])
+		}
+	}
+	return nil
+}
+
+// Predict sums the initial value and all shrunken stage contributions.
+func (g *GradientBoosting) Predict(x []float64) float64 {
+	if len(g.stages) == 0 {
+		panic("ml: GradientBoosting.Predict called before Fit")
+	}
+	out := g.init
+	for _, t := range g.stages {
+		out += g.rate * t.Predict(x)
+	}
+	return out
+}
+
+// NumStages returns the number of fitted boosting stages.
+func (g *GradientBoosting) NumStages() int { return len(g.stages) }
+
+// StagedPredict returns the prediction after every boosting stage,
+// useful for picking an early-stopping point on a validation set.
+func (g *GradientBoosting) StagedPredict(x []float64) []float64 {
+	if len(g.stages) == 0 {
+		panic("ml: GradientBoosting.StagedPredict called before Fit")
+	}
+	out := make([]float64, len(g.stages))
+	acc := g.init
+	for i, t := range g.stages {
+		acc += g.rate * t.Predict(x)
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ParamGrid names one hyperparameter axis and its candidate values.
+type ParamGrid struct {
+	Name   string
+	Values []float64
+}
+
+// GridSearchResult reports one evaluated hyperparameter combination.
+type GridSearchResult struct {
+	// Params maps axis name to the chosen value.
+	Params map[string]float64
+	// Score is the mean cross-validation score (lower is better).
+	Score float64
+}
+
+// GridSearch exhaustively evaluates the cartesian product of the
+// parameter grids with k-fold cross-validation and returns every
+// combination's mean score plus the best one. newModel receives the
+// parameter assignment and must build the corresponding estimator;
+// score is the loss to minimise (e.g. MAPE).
+func GridSearch(
+	grids []ParamGrid,
+	newModel func(params map[string]float64) Regressor,
+	X [][]float64, y []float64,
+	k int, seed int64,
+	score func(yTrue, yPred []float64) float64,
+) (best GridSearchResult, all []GridSearchResult, err error) {
+	if len(grids) == 0 {
+		return best, nil, errors.New("ml: GridSearch needs at least one parameter grid")
+	}
+	for _, g := range grids {
+		if len(g.Values) == 0 {
+			return best, nil, fmt.Errorf("ml: parameter %q has no candidate values", g.Name)
+		}
+	}
+	if _, err := checkXY(X, y); err != nil {
+		return best, nil, err
+	}
+
+	idx := make([]int, len(grids))
+	best.Score = math.Inf(1)
+	for {
+		params := make(map[string]float64, len(grids))
+		for i, g := range grids {
+			params[g.Name] = g.Values[idx[i]]
+		}
+		scores, err := CrossValScore(func() Regressor { return newModel(params) },
+			X, y, k, seed, score)
+		if err != nil {
+			return best, nil, err
+		}
+		mean := 0.0
+		for _, s := range scores {
+			mean += s
+		}
+		mean /= float64(len(scores))
+		res := GridSearchResult{Params: params, Score: mean}
+		all = append(all, res)
+		if mean < best.Score {
+			best = res
+		}
+
+		// Advance the mixed-radix counter.
+		carry := len(grids) - 1
+		for carry >= 0 {
+			idx[carry]++
+			if idx[carry] < len(grids[carry].Values) {
+				break
+			}
+			idx[carry] = 0
+			carry--
+		}
+		if carry < 0 {
+			return best, all, nil
+		}
+	}
+}

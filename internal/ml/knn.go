@@ -1,0 +1,100 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNWeighting selects how k-NN combines neighbour responses.
+type KNNWeighting int
+
+const (
+	// UniformWeights averages the k nearest responses.
+	UniformWeights KNNWeighting = iota
+	// DistanceWeights averages with 1/d weights (an exact match wins
+	// outright).
+	DistanceWeights
+)
+
+// KNN is a brute-force k-nearest-neighbours regressor with Euclidean
+// distance. It rounds out the model suite for baseline comparisons; the
+// paper's figure set uses tree models only.
+type KNN struct {
+	// K is the neighbourhood size; values below 1 are treated as 5.
+	K int
+	// Weighting selects uniform or inverse-distance averaging.
+	Weighting KNNWeighting
+
+	x [][]float64
+	y []float64
+}
+
+// Fit memorises the training set.
+func (k *KNN) Fit(X [][]float64, y []float64) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	k.x = copyMatrix(X)
+	k.y = copyVector(y)
+	return nil
+}
+
+// Predict averages the responses of the K nearest training points.
+func (k *KNN) Predict(x []float64) float64 {
+	if len(k.x) == 0 {
+		panic("ml: KNN.Predict called before Fit")
+	}
+	if len(x) != len(k.x[0]) {
+		panic(fmt.Sprintf("ml: KNN.Predict got %d features, want %d", len(x), len(k.x[0])))
+	}
+	kk := k.K
+	if kk < 1 {
+		kk = 5
+	}
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	type nd struct {
+		d float64
+		y float64
+	}
+	ds := make([]nd, len(k.x))
+	for i, xi := range k.x {
+		s := 0.0
+		for j := range x {
+			d := x[j] - xi[j]
+			s += d * d
+		}
+		ds[i] = nd{d: math.Sqrt(s), y: k.y[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	ds = ds[:kk]
+
+	if k.Weighting == DistanceWeights {
+		// Exact matches dominate: average them alone.
+		exactSum, exactN := 0.0, 0
+		for _, n := range ds {
+			if n.d == 0 {
+				exactSum += n.y
+				exactN++
+			}
+		}
+		if exactN > 0 {
+			return exactSum / float64(exactN)
+		}
+		num, den := 0.0, 0.0
+		for _, n := range ds {
+			w := 1 / n.d
+			num += w * n.y
+			den += w
+		}
+		return num / den
+	}
+
+	s := 0.0
+	for _, n := range ds {
+		s += n.y
+	}
+	return s / float64(kk)
+}

@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearRegression fits y = intercept + w·x by (ridge-regularised)
+// normal equations. With Lambda = 0 it is ordinary least squares. It is
+// the default meta model of the generic Stacking estimator and the
+// calibration tool used to tune analytical-model constants.
+type LinearRegression struct {
+	// Lambda is the L2 (ridge) penalty on the weights (never on the
+	// intercept). 0 means ordinary least squares.
+	Lambda float64
+
+	weights   []float64 // coefficient per feature
+	intercept float64
+	fitted    bool
+}
+
+// Fit solves the normal equations (X'X + λI) w = X'y with an intercept
+// column. Rank-deficient systems fall back to a tiny implicit ridge to
+// stay solvable.
+func (l *LinearRegression) Fit(X [][]float64, y []float64) error {
+	p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if l.Lambda < 0 {
+		return errors.New("ml: negative ridge penalty")
+	}
+	n := len(X)
+	// Augmented design: p features + intercept.
+	d := p + 1
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	aty := make([]float64, d)
+	row := make([]float64, d)
+	for s := 0; s < n; s++ {
+		copy(row, X[s])
+		row[p] = 1
+		for i := 0; i < d; i++ {
+			aty[i] += row[i] * y[s]
+			for j := i; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	for i := 0; i < p; i++ { // ridge on weights only
+		ata[i][i] += l.Lambda
+	}
+
+	w, err := solveSPD(ata, aty)
+	if err != nil {
+		// Rank deficient: retry with a tiny ridge.
+		for i := 0; i < p; i++ {
+			ata[i][i] += 1e-8
+		}
+		w, err = solveSPD(ata, aty)
+		if err != nil {
+			return fmt.Errorf("ml: linear regression normal equations singular: %w", err)
+		}
+	}
+	l.weights = w[:p]
+	l.intercept = w[p]
+	l.fitted = true
+	return nil
+}
+
+// Predict evaluates intercept + w·x.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	if !l.fitted {
+		panic("ml: LinearRegression.Predict called before Fit")
+	}
+	if len(x) != len(l.weights) {
+		panic(fmt.Sprintf("ml: LinearRegression.Predict got %d features, want %d", len(x), len(l.weights)))
+	}
+	s := l.intercept
+	for i, w := range l.weights {
+		s += w * x[i]
+	}
+	return s
+}
+
+// Coefficients returns a copy of the fitted weights and the intercept.
+func (l *LinearRegression) Coefficients() (weights []float64, intercept float64) {
+	return copyVector(l.weights), l.intercept
+}
+
+// solveSPD solves A x = b for a symmetric positive (semi)definite A by
+// Gaussian elimination with partial pivoting. A and b are clobbered.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > maxAbs {
+				maxAbs, piv = v, r
+			}
+		}
+		if maxAbs < 1e-300 {
+			return nil, errors.New("singular matrix")
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 2*X[i][0] - 3*X[i][1] + 0.5*X[i][2] + 7
+	}
+	lr := &LinearRegression{}
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	w, b := lr.Coefficients()
+	want := []float64{2, -3, 0.5}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-8 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	if math.Abs(b-7) > 1e-8 {
+		t.Errorf("intercept = %v, want 7", b)
+	}
+}
+
+func TestLinearRegressionExactOnLinearProperty(t *testing.T) {
+	f := func(a, b, c float64, seed int64) bool {
+		a, b, c = math.Mod(a, 100), math.Mod(b, 100), math.Mod(c, 100)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		X := make([][]float64, 50)
+		y := make([]float64, 50)
+		for i := range X {
+			X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = a*X[i][0] + b*X[i][1] + c
+		}
+		lr := &LinearRegression{}
+		if err := lr.Fit(X, y); err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			want := a*x[0] + b*x[1] + c
+			if !nearly(lr.Predict(x), want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nearly(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestLinearRegressionRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64()}
+		y[i] = 5 * X[i][0]
+	}
+	ols := &LinearRegression{}
+	ridge := &LinearRegression{Lambda: 100}
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	wo, _ := ols.Coefficients()
+	wr, _ := ridge.Coefficients()
+	if math.Abs(wr[0]) >= math.Abs(wo[0]) {
+		t.Errorf("ridge |w| = %v should shrink below OLS |w| = %v", math.Abs(wr[0]), math.Abs(wo[0]))
+	}
+}
+
+func TestLinearRegressionCollinear(t *testing.T) {
+	// Duplicated column: OLS normal equations are singular; Fit must
+	// still succeed via its internal fallback ridge.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	lr := &LinearRegression{}
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := lr.Predict([]float64{5, 5}); math.Abs(got-10) > 1e-3 {
+		t.Errorf("collinear prediction = %v, want ~10", got)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	lr := &LinearRegression{}
+	if err := lr.Fit(nil, nil); err == nil {
+		t.Error("expected empty-set error")
+	}
+	lr = &LinearRegression{Lambda: -1}
+	if err := lr.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("expected negative-lambda error")
+	}
+}
+
+func TestLinearRegressionPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&LinearRegression{}).Predict([]float64{1})
+}
+
+func TestSolveSPDKnownSystem(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	x, err := solveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [[4,1],[1,3]] x = [1,2] is [1/11, 7/11].
+	if math.Abs(x[0]-1.0/11) > 1e-12 || math.Abs(x[1]-7.0/11) > 1e-12 {
+		t.Errorf("x = %v, want [1/11, 7/11]", x)
+	}
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if _, err := solveSPD(a, b); err == nil {
+		t.Error("expected singular-matrix error")
+	}
+}

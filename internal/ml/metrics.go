@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MAPE returns the mean absolute percentage error, in percent — the
+// paper's headline metric. Samples with zero truth are skipped (all
+// responses in this repository are strictly positive execution times).
+func MAPE(yTrue, yPred []float64) float64 {
+	checkSameLen(yTrue, yPred)
+	s, n := 0.0, 0
+	for i := range yTrue {
+		if yTrue[i] == 0 {
+			continue
+		}
+		s += math.Abs(yPred[i]-yTrue[i]) / math.Abs(yTrue[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * s / float64(n)
+}
+
+// MedAPE returns the median absolute percentage error, in percent.
+func MedAPE(yTrue, yPred []float64) float64 {
+	checkSameLen(yTrue, yPred)
+	apes := make([]float64, 0, len(yTrue))
+	for i := range yTrue {
+		if yTrue[i] == 0 {
+			continue
+		}
+		apes = append(apes, 100*math.Abs(yPred[i]-yTrue[i])/math.Abs(yTrue[i]))
+	}
+	if len(apes) == 0 {
+		return 0
+	}
+	sort.Float64s(apes)
+	m := len(apes) / 2
+	if len(apes)%2 == 1 {
+		return apes[m]
+	}
+	return (apes[m-1] + apes[m]) / 2
+}
+
+// MAE returns the mean absolute error.
+func MAE(yTrue, yPred []float64) float64 {
+	checkSameLen(yTrue, yPred)
+	if len(yTrue) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range yTrue {
+		s += math.Abs(yPred[i] - yTrue[i])
+	}
+	return s / float64(len(yTrue))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(yTrue, yPred []float64) float64 {
+	checkSameLen(yTrue, yPred)
+	if len(yTrue) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range yTrue {
+		d := yPred[i] - yTrue[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(yTrue)))
+}
+
+// R2 returns the coefficient of determination. A constant-truth vector
+// yields R2 = 0 by convention unless predictions are exact.
+func R2(yTrue, yPred []float64) float64 {
+	checkSameLen(yTrue, yPred)
+	if len(yTrue) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range yTrue {
+		mean += v
+	}
+	mean /= float64(len(yTrue))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		ssRes += d * d
+		m := yTrue[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+func checkSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ml: metric on mismatched lengths %d vs %d", len(a), len(b)))
+	}
+}

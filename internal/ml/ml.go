@@ -1,0 +1,75 @@
+// Package ml is a from-scratch, dependency-free implementation of the
+// supervised regression estimators the paper takes from scikit-learn
+// (Section V): CART decision trees, random forests, extremely randomized
+// trees (extra trees), bagging and stacking ensembles, plus the
+// supporting cast — ordinary/ridge linear regression, k-nearest
+// neighbours, feature standardization, regression metrics (MAPE first
+// and foremost) and k-fold cross-validation.
+//
+// All estimators are deterministic given their Seed, and fit in memory
+// on the dataset sizes the paper uses (10^3–10^5 samples).
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Regressor is the common estimator interface: fit on a design matrix
+// and predict scalar responses.
+type Regressor interface {
+	// Fit trains the model. Implementations must not retain X or y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the model's estimate for a single feature vector.
+	// Calling Predict before a successful Fit is a programming error and
+	// panics.
+	Predict(x []float64) float64
+}
+
+// PredictBatch applies r.Predict to every row of X.
+func PredictBatch(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// checkXY validates the design matrix and response vector shapes shared
+// by all estimators. It returns the feature arity.
+func checkXY(X [][]float64, y []float64) (int, error) {
+	if len(X) == 0 {
+		return 0, errors.New("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("ml: %d samples but %d responses", len(X), len(y))
+	}
+	p := len(X[0])
+	if p == 0 {
+		return 0, errors.New("ml: samples have zero features")
+	}
+	for i, row := range X {
+		if len(row) != p {
+			return 0, fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	return p, nil
+}
+
+// copyMatrix deep-copies a design matrix.
+func copyMatrix(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	flat := make([]float64, 0, len(X)*len(X[0]))
+	for i, row := range X {
+		flat = append(flat, row...)
+		out[i] = flat[len(flat)-len(row):]
+	}
+	return out
+}
+
+// copyVector copies a response vector.
+func copyVector(y []float64) []float64 {
+	out := make([]float64, len(y))
+	copy(out, y)
+	return out
+}

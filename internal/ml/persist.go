@@ -1,0 +1,299 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence. The paper stresses that the model "is constructed
+// once offline but used many times" (Section VI) — these functions
+// serialise fitted estimators to JSON so a trained predictor can be
+// shipped with an application and queried without retraining.
+//
+// SaveModel writes any supported fitted Regressor; LoadModel restores
+// it. Supported: DecisionTree, Forest, LinearRegression, KNN,
+// GradientBoosting, Pipeline (wrapping any of the former).
+
+// modelEnvelope tags the concrete type on disk.
+type modelEnvelope struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// nodeDTO serialises one tree node (children by index; -1 = none).
+type nodeDTO struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Value     float64 `json:"v"`
+	N         int     `json:"n"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+}
+
+type treeDTO struct {
+	Config      TreeConfig `json:"config"`
+	NFeatures   int        `json:"n_features"`
+	Importances []float64  `json:"importances"`
+	Nodes       []nodeDTO  `json:"nodes"`
+}
+
+func flattenTree(root *treeNode) []nodeDTO {
+	var nodes []nodeDTO
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return -1
+		}
+		idx := len(nodes)
+		nodes = append(nodes, nodeDTO{Feature: n.feature, Threshold: n.threshold,
+			Value: n.value, N: n.n, Left: -1, Right: -1})
+		nodes[idx].Left = walk(n.left)
+		nodes[idx].Right = walk(n.right)
+		return idx
+	}
+	walk(root)
+	return nodes
+}
+
+func buildTree(nodes []nodeDTO, idx int) (*treeNode, error) {
+	if idx == -1 {
+		return nil, nil
+	}
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("ml: corrupt tree node index %d", idx)
+	}
+	d := nodes[idx]
+	n := &treeNode{feature: d.Feature, threshold: d.Threshold, value: d.Value, n: d.N}
+	var err error
+	if n.left, err = buildTree(nodes, d.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = buildTree(nodes, d.Right); err != nil {
+		return nil, err
+	}
+	if !n.isLeaf() && (n.left == nil || n.right == nil) {
+		return nil, fmt.Errorf("ml: corrupt tree: internal node %d missing a child", idx)
+	}
+	return n, nil
+}
+
+func (t *DecisionTree) toDTO() treeDTO {
+	return treeDTO{
+		Config:      t.Config,
+		NFeatures:   t.nFeatures,
+		Importances: t.importances,
+		Nodes:       flattenTree(t.root),
+	}
+}
+
+func (t *DecisionTree) fromDTO(d treeDTO) error {
+	root, err := buildTree(d.Nodes, 0)
+	if err != nil {
+		return err
+	}
+	if root == nil {
+		return fmt.Errorf("ml: corrupt tree: empty node list")
+	}
+	t.Config = d.Config
+	t.nFeatures = d.NFeatures
+	t.importances = d.Importances
+	t.root = root
+	return nil
+}
+
+type forestDTO struct {
+	NTrees    int        `json:"n_trees"`
+	Tree      TreeConfig `json:"tree"`
+	Bootstrap bool       `json:"bootstrap"`
+	Seed      int64      `json:"seed"`
+	NFeatures int        `json:"n_features"`
+	Trees     []treeDTO  `json:"trees"`
+}
+
+type linregDTO struct {
+	Lambda    float64   `json:"lambda"`
+	Weights   []float64 `json:"weights"`
+	Intercept float64   `json:"intercept"`
+}
+
+type knnDTO struct {
+	K         int          `json:"k"`
+	Weighting KNNWeighting `json:"weighting"`
+	X         [][]float64  `json:"x"`
+	Y         []float64    `json:"y"`
+}
+
+type gbrDTO struct {
+	Init   float64   `json:"init"`
+	Rate   float64   `json:"rate"`
+	Stages []treeDTO `json:"stages"`
+}
+
+type pipelineDTO struct {
+	Mean  []float64     `json:"mean"`
+	Std   []float64     `json:"std"`
+	Model modelEnvelope `json:"model"`
+}
+
+// SaveModel serialises a fitted regressor to w.
+func SaveModel(w io.Writer, m Regressor) error {
+	env, err := encodeModel(m)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(env)
+}
+
+func encodeModel(m Regressor) (*modelEnvelope, error) {
+	var kind string
+	var payload any
+	switch v := m.(type) {
+	case *DecisionTree:
+		if v.root == nil {
+			return nil, fmt.Errorf("ml: cannot save unfitted DecisionTree")
+		}
+		kind, payload = "decision_tree", v.toDTO()
+	case *Forest:
+		if len(v.trees) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted Forest")
+		}
+		d := forestDTO{NTrees: v.NTrees, Tree: v.Tree, Bootstrap: v.Bootstrap,
+			Seed: v.Seed, NFeatures: v.nFeatures}
+		for _, t := range v.trees {
+			d.Trees = append(d.Trees, t.toDTO())
+		}
+		kind, payload = "forest", d
+	case *LinearRegression:
+		if !v.fitted {
+			return nil, fmt.Errorf("ml: cannot save unfitted LinearRegression")
+		}
+		kind, payload = "linreg", linregDTO{Lambda: v.Lambda, Weights: v.weights, Intercept: v.intercept}
+	case *KNN:
+		if len(v.x) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted KNN")
+		}
+		kind, payload = "knn", knnDTO{K: v.K, Weighting: v.Weighting, X: v.x, Y: v.y}
+	case *GradientBoosting:
+		if len(v.stages) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted GradientBoosting")
+		}
+		d := gbrDTO{Init: v.init, Rate: v.rate}
+		for _, t := range v.stages {
+			d.Stages = append(d.Stages, t.toDTO())
+		}
+		kind, payload = "gbr", d
+	case *Pipeline:
+		if !v.fitted {
+			return nil, fmt.Errorf("ml: cannot save unfitted Pipeline")
+		}
+		inner, err := encodeModel(v.Model)
+		if err != nil {
+			return nil, err
+		}
+		kind, payload = "pipeline", pipelineDTO{Mean: v.scaler.mean, Std: v.scaler.std, Model: *inner}
+	default:
+		return nil, fmt.Errorf("ml: SaveModel does not support %T", m)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &modelEnvelope{Kind: kind, Data: raw}, nil
+}
+
+// LoadModel restores a regressor saved by SaveModel.
+func LoadModel(r io.Reader) (Regressor, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	return decodeModel(env)
+}
+
+func decodeModel(env modelEnvelope) (Regressor, error) {
+	switch env.Kind {
+	case "decision_tree":
+		var d treeDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		t := &DecisionTree{}
+		if err := t.fromDTO(d); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case "forest":
+		var d forestDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		f := &Forest{NTrees: d.NTrees, Tree: d.Tree, Bootstrap: d.Bootstrap,
+			Seed: d.Seed, nFeatures: d.NFeatures}
+		for i, td := range d.Trees {
+			t := &DecisionTree{}
+			if err := t.fromDTO(td); err != nil {
+				return nil, fmt.Errorf("ml: forest tree %d: %w", i, err)
+			}
+			f.trees = append(f.trees, t)
+		}
+		if len(f.trees) == 0 {
+			return nil, fmt.Errorf("ml: corrupt forest: no trees")
+		}
+		return f, nil
+	case "linreg":
+		var d linregDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		if d.Weights == nil {
+			return nil, fmt.Errorf("ml: corrupt linreg: no weights")
+		}
+		return &LinearRegression{Lambda: d.Lambda, weights: d.Weights,
+			intercept: d.Intercept, fitted: true}, nil
+	case "knn":
+		var d knnDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		if len(d.X) == 0 || len(d.X) != len(d.Y) {
+			return nil, fmt.Errorf("ml: corrupt knn payload")
+		}
+		return &KNN{K: d.K, Weighting: d.Weighting, x: d.X, y: d.Y}, nil
+	case "gbr":
+		var d gbrDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		g := &GradientBoosting{init: d.Init, rate: d.Rate}
+		for i, td := range d.Stages {
+			t := &DecisionTree{}
+			if err := t.fromDTO(td); err != nil {
+				return nil, fmt.Errorf("ml: boosting stage %d: %w", i, err)
+			}
+			g.stages = append(g.stages, t)
+		}
+		if len(g.stages) == 0 {
+			return nil, fmt.Errorf("ml: corrupt gbr: no stages")
+		}
+		return g, nil
+	case "pipeline":
+		var d pipelineDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		inner, err := decodeModel(d.Model)
+		if err != nil {
+			return nil, err
+		}
+		p := &Pipeline{Model: inner, fitted: true}
+		p.scaler.mean = d.Mean
+		p.scaler.std = d.Std
+		if p.scaler.mean == nil || p.scaler.std == nil {
+			return nil, fmt.Errorf("ml: corrupt pipeline: missing scaler state")
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+}

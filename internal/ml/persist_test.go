@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// roundTrip saves and reloads a model, failing the test on error.
+func roundTrip(t *testing.T, m Regressor) Regressor {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// assertSamePredictions compares two models over probe points.
+func assertSamePredictions(t *testing.T, a, b Regressor, probes [][]float64) {
+	t.Helper()
+	for i, x := range probes {
+		pa, pb := a.Predict(x), b.Predict(x)
+		if pa != pb {
+			t.Fatalf("probe %d: original %v, reloaded %v", i, pa, pb)
+		}
+	}
+}
+
+func TestPersistDecisionTree(t *testing.T) {
+	X, y := friedman1(200, 0.5, 71)
+	probes, _ := friedman1(30, 0, 72)
+	tree := NewDecisionTree(TreeConfig{MaxDepth: 6, Seed: 1})
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, tree)
+	assertSamePredictions(t, tree, loaded, probes)
+	lt := loaded.(*DecisionTree)
+	if lt.Depth() != tree.Depth() || lt.NumLeaves() != tree.NumLeaves() {
+		t.Error("tree shape changed through persistence")
+	}
+	imp := lt.FeatureImportances()
+	want := tree.FeatureImportances()
+	for i := range want {
+		if imp[i] != want[i] {
+			t.Error("importances changed through persistence")
+		}
+	}
+}
+
+func TestPersistForest(t *testing.T) {
+	X, y := friedman1(200, 0.5, 73)
+	probes, _ := friedman1(30, 0, 74)
+	for _, f := range []*Forest{NewRandomForest(15, 2), NewExtraTrees(15, 2)} {
+		if err := f.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		loaded := roundTrip(t, f)
+		assertSamePredictions(t, f, loaded, probes)
+		if loaded.(*Forest).NumTrees() != 15 {
+			t.Error("forest size changed")
+		}
+	}
+}
+
+func TestPersistLinearRegression(t *testing.T) {
+	X, y := friedman1(100, 0, 75)
+	probes, _ := friedman1(20, 0, 76)
+	lr := &LinearRegression{Lambda: 0.5}
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, lr, roundTrip(t, lr), probes)
+}
+
+func TestPersistKNN(t *testing.T) {
+	X, y := friedman1(80, 0, 77)
+	probes, _ := friedman1(20, 0, 78)
+	k := &KNN{K: 3, Weighting: DistanceWeights}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, k, roundTrip(t, k), probes)
+}
+
+func TestPersistGradientBoosting(t *testing.T) {
+	X, y := friedman1(150, 0.3, 79)
+	probes, _ := friedman1(20, 0, 80)
+	g := &GradientBoosting{NStages: 25, Seed: 4}
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, g, roundTrip(t, g), probes)
+}
+
+func TestPersistPipeline(t *testing.T) {
+	X, y := friedman1(150, 0.3, 81)
+	probes, _ := friedman1(20, 0, 82)
+	p := &Pipeline{Model: NewExtraTrees(10, 5)}
+	if err := p.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, p, roundTrip(t, p), probes)
+}
+
+func TestPersistRejectsUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	for _, m := range []Regressor{
+		NewDecisionTree(TreeConfig{}),
+		NewRandomForest(5, 1),
+		&LinearRegression{},
+		&KNN{},
+		&GradientBoosting{},
+		&Pipeline{Model: &KNN{}},
+	} {
+		if err := SaveModel(&buf, m); err == nil {
+			t.Errorf("saving unfitted %T should fail", m)
+		}
+	}
+}
+
+func TestPersistRejectsUnsupported(t *testing.T) {
+	var buf bytes.Buffer
+	st := &Stacking{}
+	if err := SaveModel(&buf, st); err == nil {
+		t.Error("expected unsupported-type error")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"kind":"martian","data":{}}`,
+		`{"kind":"decision_tree","data":{"nodes":[]}}`,
+		`{"kind":"forest","data":{"trees":[]}}`,
+		`{"kind":"linreg","data":{}}`,
+		`{"kind":"knn","data":{"x":[[1]],"y":[]}}`,
+		`{"kind":"gbr","data":{"stages":[]}}`,
+		`{"kind":"pipeline","data":{"model":{"kind":"martian","data":{}}}}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestLoadModelRejectsCorruptTreeLinks(t *testing.T) {
+	// Internal node with out-of-range child index.
+	payload := `{"kind":"decision_tree","data":{"n_features":1,"nodes":[{"f":0,"t":1,"v":0,"n":2,"l":5,"r":-1}]}}`
+	if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+		t.Error("expected corrupt-index error")
+	}
+	// Internal node missing a child.
+	payload = `{"kind":"decision_tree","data":{"n_features":1,"nodes":[{"f":0,"t":1,"v":0,"n":2,"l":-1,"r":-1}]}}`
+	if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+		t.Error("expected missing-child error")
+	}
+}

@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// StandardScaler standardises features to zero mean and unit variance —
+// the preprocessing the paper applies before every scikit-learn
+// estimator (Section V). Constant columns keep their mean removed and a
+// unit divisor, matching scikit-learn's behaviour.
+type StandardScaler struct {
+	mean []float64
+	std  []float64
+}
+
+// Fit learns per-column means and standard deviations.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return errors.New("ml: StandardScaler.Fit on empty matrix")
+	}
+	p := len(X[0])
+	s.mean = make([]float64, p)
+	s.std = make([]float64, p)
+	n := float64(len(X))
+	for _, row := range X {
+		if len(row) != p {
+			return fmt.Errorf("ml: StandardScaler.Fit row arity %d, want %d", len(row), p)
+		}
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return nil
+}
+
+// Transform standardises X into a newly allocated matrix.
+func (s *StandardScaler) Transform(X [][]float64) ([][]float64, error) {
+	if s.mean == nil {
+		return nil, errors.New("ml: StandardScaler.Transform before Fit")
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row) != len(s.mean) {
+			return nil, fmt.Errorf("ml: StandardScaler.Transform row arity %d, want %d", len(row), len(s.mean))
+		}
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.mean[j]) / s.std[j]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// TransformRow standardises a single feature vector.
+func (s *StandardScaler) TransformRow(x []float64) ([]float64, error) {
+	rows, err := s.Transform([][]float64{x})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// InverseTransform maps standardised rows back to the original scale.
+func (s *StandardScaler) InverseTransform(X [][]float64) ([][]float64, error) {
+	if s.mean == nil {
+		return nil, errors.New("ml: StandardScaler.InverseTransform before Fit")
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row) != len(s.mean) {
+			return nil, fmt.Errorf("ml: StandardScaler.InverseTransform row arity %d, want %d", len(row), len(s.mean))
+		}
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v*s.std[j] + s.mean[j]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// FitTransform is Fit followed by Transform.
+func (s *StandardScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X)
+}
+
+// Pipeline standardises features before delegating to an inner model,
+// reproducing the paper's scaler-then-estimator composition. It
+// implements Regressor.
+type Pipeline struct {
+	// Model is the inner estimator. Required.
+	Model Regressor
+
+	scaler StandardScaler
+	fitted bool
+}
+
+// Fit standardises X and fits the inner model on the scaled features.
+func (p *Pipeline) Fit(X [][]float64, y []float64) error {
+	if p.Model == nil {
+		return errors.New("ml: Pipeline requires a Model")
+	}
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	scaled, err := p.scaler.FitTransform(X)
+	if err != nil {
+		return err
+	}
+	if err := p.Model.Fit(scaled, y); err != nil {
+		return err
+	}
+	p.fitted = true
+	return nil
+}
+
+// Predict scales x with the training statistics and delegates.
+func (p *Pipeline) Predict(x []float64) float64 {
+	if !p.fitted {
+		panic("ml: Pipeline.Predict called before Fit")
+	}
+	row, err := p.scaler.TransformRow(x)
+	if err != nil {
+		panic(err)
+	}
+	return p.Model.Predict(row)
+}

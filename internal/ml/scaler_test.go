@@ -1,0 +1,236 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalerZeroMeanUnitVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 500)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64()*10 + 5, rng.Float64() * 1000}
+	}
+	var s StandardScaler
+	scaled, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		mean, m2 := 0.0, 0.0
+		for _, row := range scaled {
+			mean += row[j]
+		}
+		mean /= float64(len(scaled))
+		for _, row := range scaled {
+			d := row[j] - mean
+			m2 += d * d
+		}
+		sd := math.Sqrt(m2 / float64(len(scaled)))
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("column %d mean = %v, want 0", j, mean)
+		}
+		if math.Abs(sd-1) > 1e-9 {
+			t.Errorf("column %d std = %v, want 1", j, sd)
+		}
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	X := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	var s StandardScaler
+	scaled, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scaled {
+		if scaled[i][0] != 0 {
+			t.Errorf("constant column scaled to %v, want 0", scaled[i][0])
+		}
+	}
+}
+
+func TestScalerRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.NormFloat64() * 100, rng.NormFloat64()}
+		}
+		var s StandardScaler
+		scaled, err := s.FitTransform(X)
+		if err != nil {
+			return false
+		}
+		back, err := s.InverseTransform(scaled)
+		if err != nil {
+			return false
+		}
+		for i := range X {
+			for j := range X[i] {
+				if math.Abs(back[i][j]-X[i][j]) > 1e-6*(1+math.Abs(X[i][j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	var s StandardScaler
+	if err := s.Fit(nil); err == nil {
+		t.Error("expected error on empty fit")
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("expected error on transform before fit")
+	}
+	if _, err := s.InverseTransform([][]float64{{1}}); err == nil {
+		t.Error("expected error on inverse before fit")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("expected error on ragged fit")
+	}
+	if err := s.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("expected arity error on transform")
+	}
+	if _, err := s.InverseTransform([][]float64{{1}}); err == nil {
+		t.Error("expected arity error on inverse transform")
+	}
+}
+
+func TestPipelineMatchesManualScaling(t *testing.T) {
+	X, y := friedman1(200, 0, 31)
+	pipe := &Pipeline{Model: NewExtraTrees(20, 4)}
+	if err := pipe.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var s StandardScaler
+	scaled, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := NewExtraTrees(20, 4)
+	if err := manual.Fit(scaled, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		row, err := s.TransformRow(X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := pipe.Predict(X[i]), manual.Predict(row); got != want {
+			t.Fatalf("pipeline %v != manual %v", got, want)
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	p := &Pipeline{}
+	if err := p.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("expected error without Model")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic predicting before fit")
+		}
+	}()
+	(&Pipeline{Model: &KNN{}}).Predict([]float64{1})
+}
+
+func TestKNNExactNeighbour(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}}
+	y := []float64{10, 20, 30}
+	k := &KNN{K: 1}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{1.1}); got != 20 {
+		t.Errorf("1-NN predict = %v, want 20", got)
+	}
+}
+
+func TestKNNUniformAverage(t *testing.T) {
+	X := [][]float64{{0}, {1}, {10}}
+	y := []float64{10, 20, 90}
+	k := &KNN{K: 2}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{0.5}); got != 15 {
+		t.Errorf("2-NN predict = %v, want 15", got)
+	}
+}
+
+func TestKNNDistanceWeighted(t *testing.T) {
+	X := [][]float64{{0}, {3}}
+	y := []float64{0, 30}
+	k := &KNN{K: 2, Weighting: DistanceWeights}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// At x=1: weights 1/1 and 1/2 -> (0*1 + 30*0.5) / 1.5 = 10.
+	if got := k.Predict([]float64{1}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("weighted predict = %v, want 10", got)
+	}
+	// Exact match dominates.
+	if got := k.Predict([]float64{0}); got != 0 {
+		t.Errorf("exact-match predict = %v, want 0", got)
+	}
+}
+
+func TestKNNKLargerThanN(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{10, 20}
+	k := &KNN{K: 50}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{0}); got != 15 {
+		t.Errorf("K>n predict = %v, want mean 15", got)
+	}
+}
+
+func TestKNNDefaultK(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}, {4}, {50}}
+	y := []float64{1, 1, 1, 1, 1, 100}
+	k := &KNN{} // default K=5
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{2}); got != 1 {
+		t.Errorf("default-K predict = %v, want 1", got)
+	}
+}
+
+func TestKNNFitCopiesData(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{10, 20}
+	k := &KNN{K: 1}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	X[0][0] = 100
+	y[0] = -1
+	if got := k.Predict([]float64{0}); got != 10 {
+		t.Errorf("KNN must copy training data; predict = %v, want 10", got)
+	}
+}
+
+func TestKNNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&KNN{}).Predict([]float64{1})
+}

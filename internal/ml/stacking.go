@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Stacking is Wolpert's stacked-generalization meta-estimator: the
+// predictions of the base models become input features for a meta
+// model. With KFold > 1 the meta features are produced out-of-fold,
+// which avoids training-set leakage; with KFold <= 1 the base models
+// simply refit on the full set (cheaper, adequate for low-variance
+// bases).
+//
+// The hybrid model in internal/hybrid is a special case of stacking in
+// which one "base model" is the closed-form analytical model — there the
+// augmentation is done directly since the analytical model needs no
+// fitting. This generic estimator exists for ensembling fitted models
+// and for the ablation studies.
+type Stacking struct {
+	// NewBases construct the untrained base models. Required, non-empty.
+	NewBases []func() Regressor
+	// NewMeta constructs the untrained meta model. Required.
+	NewMeta func() Regressor
+	// PassThrough includes the original features alongside the base
+	// predictions in the meta model's input (the paper's hybrid always
+	// passes the original features through).
+	PassThrough bool
+	// KFold > 1 enables out-of-fold meta-feature generation.
+	KFold int
+	// Seed drives fold shuffling.
+	Seed int64
+
+	bases []Regressor
+	meta  Regressor
+}
+
+// Fit trains the stack.
+func (s *Stacking) Fit(X [][]float64, y []float64) error {
+	if len(s.NewBases) == 0 {
+		return errors.New("ml: Stacking requires at least one base model")
+	}
+	if s.NewMeta == nil {
+		return errors.New("ml: Stacking requires a meta model")
+	}
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	nb := len(s.NewBases)
+
+	// metaFeat[i] collects the base-model predictions for sample i.
+	metaFeat := make([][]float64, n)
+	for i := range metaFeat {
+		metaFeat[i] = make([]float64, nb)
+	}
+
+	if s.KFold > 1 && s.KFold <= n {
+		folds := KFoldIndices(n, s.KFold, rand.New(rand.NewSource(s.Seed)))
+		for _, fold := range folds {
+			inFold := make(map[int]bool, len(fold))
+			for _, i := range fold {
+				inFold[i] = true
+			}
+			trainX := make([][]float64, 0, n-len(fold))
+			trainY := make([]float64, 0, n-len(fold))
+			for i := 0; i < n; i++ {
+				if !inFold[i] {
+					trainX = append(trainX, X[i])
+					trainY = append(trainY, y[i])
+				}
+			}
+			for b, newBase := range s.NewBases {
+				m := newBase()
+				if err := m.Fit(trainX, trainY); err != nil {
+					return err
+				}
+				for _, i := range fold {
+					metaFeat[i][b] = m.Predict(X[i])
+				}
+			}
+		}
+	} else {
+		for b, newBase := range s.NewBases {
+			m := newBase()
+			if err := m.Fit(X, y); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				metaFeat[i][b] = m.Predict(X[i])
+			}
+		}
+	}
+
+	// Final base models are always refit on the full training set; they
+	// produce the meta features at prediction time.
+	s.bases = s.bases[:0]
+	for _, newBase := range s.NewBases {
+		m := newBase()
+		if err := m.Fit(X, y); err != nil {
+			return err
+		}
+		s.bases = append(s.bases, m)
+	}
+
+	metaX := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		metaX[i] = s.assemble(X[i], metaFeat[i])
+	}
+	s.meta = s.NewMeta()
+	return s.meta.Fit(metaX, y)
+}
+
+// assemble builds the meta model's input for one sample.
+func (s *Stacking) assemble(x, preds []float64) []float64 {
+	if !s.PassThrough {
+		return copyVector(preds)
+	}
+	out := make([]float64, 0, len(x)+len(preds))
+	out = append(out, x...)
+	return append(out, preds...)
+}
+
+// Predict runs the base models and feeds their outputs to the meta model.
+func (s *Stacking) Predict(x []float64) float64 {
+	if s.meta == nil {
+		panic("ml: Stacking.Predict called before Fit")
+	}
+	preds := make([]float64, len(s.bases))
+	for i, b := range s.bases {
+		preds[i] = b.Predict(x)
+	}
+	return s.meta.Predict(s.assemble(x, preds))
+}

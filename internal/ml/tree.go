@@ -1,0 +1,390 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Splitter selects how a tree node chooses its split threshold.
+type Splitter int
+
+const (
+	// BestSplitter scans every candidate threshold and picks the one
+	// minimising the weighted sum of squared errors (classic CART).
+	BestSplitter Splitter = iota
+	// RandomSplitter draws one uniform random threshold per candidate
+	// feature and keeps the best feature — the extra-trees rule of
+	// Geurts et al. that the paper's best-performing model uses.
+	RandomSplitter
+)
+
+func (s Splitter) String() string {
+	switch s {
+	case BestSplitter:
+		return "best"
+	case RandomSplitter:
+		return "random"
+	default:
+		return fmt.Sprintf("Splitter(%d)", int(s))
+	}
+}
+
+// TreeConfig holds the hyperparameters of a regression tree. The zero
+// value is a fully grown CART tree (unlimited depth, best splits, all
+// features considered at every node).
+type TreeConfig struct {
+	// MaxDepth bounds the tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	// Values below 2 are treated as 2.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum number of samples a child may hold.
+	// Values below 1 are treated as 1.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features examined per node; 0 means
+	// all features.
+	MaxFeatures int
+	// Splitter selects CART best-split or extra-trees random-split.
+	Splitter Splitter
+	// Seed drives every random choice (feature subsets, random
+	// thresholds). Trees with equal config, seed and data are identical.
+	Seed int64
+}
+
+func (c TreeConfig) normalized() TreeConfig {
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// treeNode is one node of the fitted tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64 // mean response at this node
+	n         int     // training samples at this node
+}
+
+func (n *treeNode) isLeaf() bool { return n.feature < 0 }
+
+// DecisionTree is a CART regression tree (variance-reduction splitting)
+// with an optional extra-trees random splitter.
+type DecisionTree struct {
+	Config TreeConfig
+
+	root        *treeNode
+	nFeatures   int
+	importances []float64
+}
+
+// NewDecisionTree returns a tree with the given configuration.
+func NewDecisionTree(cfg TreeConfig) *DecisionTree {
+	return &DecisionTree{Config: cfg}
+}
+
+// Fit grows the tree on (X, y).
+func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
+	p, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	cfg := t.Config.normalized()
+	t.nFeatures = p
+	t.importances = make([]float64, p)
+
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &treeBuilder{
+		X: X, y: y, cfg: cfg, rng: rng,
+		nFeatures: p, importances: t.importances,
+		featBuf: make([]int, p),
+		scratch: make([]splitSample, len(X)),
+	}
+	t.root = b.build(idx, 1)
+	// Normalise importances to sum to 1 (when any split happened).
+	total := 0.0
+	for _, v := range t.importances {
+		total += v
+	}
+	if total > 0 {
+		for i := range t.importances {
+			t.importances[i] /= total
+		}
+	}
+	return nil
+}
+
+// Predict returns the fitted response for x.
+func (t *DecisionTree) Predict(x []float64) float64 {
+	if t.root == nil {
+		panic("ml: DecisionTree.Predict called before Fit")
+	}
+	if len(x) != t.nFeatures {
+		panic(fmt.Sprintf("ml: DecisionTree.Predict got %d features, want %d", len(x), t.nFeatures))
+	}
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the depth of the fitted tree (a lone leaf has depth 1).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumLeaves returns the number of leaves of the fitted tree.
+func (t *DecisionTree) NumLeaves() int { return countLeaves(t.root) }
+
+func countLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+// FeatureImportances returns the impurity-decrease importance of each
+// feature, normalised to sum to one (all zeros when the tree is a single
+// leaf). The returned slice is a copy.
+func (t *DecisionTree) FeatureImportances() []float64 {
+	return copyVector(t.importances)
+}
+
+// splitSample pairs one feature value with its response for sorting.
+type splitSample struct {
+	v, y float64
+}
+
+// treeBuilder holds the shared state of one Fit call.
+type treeBuilder struct {
+	X           [][]float64
+	y           []float64
+	cfg         TreeConfig
+	rng         *rand.Rand
+	nFeatures   int
+	importances []float64
+	featBuf     []int
+	scratch     []splitSample
+}
+
+// build grows the subtree over the sample indices idx at the given depth.
+func (b *treeBuilder) build(idx []int, depth int) *treeNode {
+	n := len(idx)
+	sum, sum2 := 0.0, 0.0
+	for _, i := range idx {
+		sum += b.y[i]
+		sum2 += b.y[i] * b.y[i]
+	}
+	mean := sum / float64(n)
+	sse := sum2 - sum*sum/float64(n)
+	node := &treeNode{feature: -1, value: mean, n: n}
+
+	if n < b.cfg.MinSamplesSplit ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
+		sse <= 1e-12 {
+		return node
+	}
+
+	feat, thr, gain, ok := b.findSplit(idx, sse)
+	if !ok {
+		return node
+	}
+
+	left := make([]int, 0, n)
+	right := make([]int, 0, n)
+	for _, i := range idx {
+		if b.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		return node
+	}
+
+	b.importances[feat] += gain
+	node.feature = feat
+	node.threshold = thr
+	node.left = b.build(left, depth+1)
+	node.right = b.build(right, depth+1)
+	return node
+}
+
+// candidateFeatures fills b.featBuf with the features to examine at one
+// node: all of them, or a MaxFeatures-sized random subset.
+func (b *treeBuilder) candidateFeatures() []int {
+	k := b.cfg.MaxFeatures
+	if k <= 0 || k >= b.nFeatures {
+		for i := range b.featBuf {
+			b.featBuf[i] = i
+		}
+		return b.featBuf
+	}
+	// Partial Fisher-Yates for a k-subset.
+	for i := range b.featBuf {
+		b.featBuf[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + b.rng.Intn(b.nFeatures-i)
+		b.featBuf[i], b.featBuf[j] = b.featBuf[j], b.featBuf[i]
+	}
+	return b.featBuf[:k]
+}
+
+// findSplit returns the best (feature, threshold) pair at a node along
+// with the impurity decrease. ok is false when no valid split exists.
+func (b *treeBuilder) findSplit(idx []int, parentSSE float64) (feat int, thr float64, gain float64, ok bool) {
+	bestSSE := math.Inf(1)
+	for _, f := range b.candidateFeatures() {
+		var t float64
+		var s float64
+		var valid bool
+		if b.cfg.Splitter == RandomSplitter {
+			t, s, valid = b.randomSplit(idx, f)
+		} else {
+			t, s, valid = b.bestSplit(idx, f)
+		}
+		if valid && s < bestSSE {
+			bestSSE, feat, thr, ok = s, f, t, true
+		}
+	}
+	if !ok {
+		return 0, 0, 0, false
+	}
+	gain = parentSSE - bestSSE
+	if gain <= 0 {
+		// A split that does not decrease impurity is only kept for the
+		// random splitter, where the theory expects occasional neutral
+		// splits; CART stops.
+		if b.cfg.Splitter == BestSplitter {
+			return 0, 0, 0, false
+		}
+		gain = 0
+	}
+	return feat, thr, gain, true
+}
+
+// bestSplit scans all midpoints of feature f (CART exact search).
+func (b *treeBuilder) bestSplit(idx []int, f int) (thr, sse float64, ok bool) {
+	n := len(idx)
+	ss := b.scratch[:n]
+	for k, i := range idx {
+		ss[k] = splitSample{v: b.X[i][f], y: b.y[i]}
+	}
+	sort.Slice(ss, func(a, c int) bool { return ss[a].v < ss[c].v })
+	if ss[0].v == ss[n-1].v {
+		return 0, 0, false // constant feature
+	}
+
+	totalSum, totalSum2 := 0.0, 0.0
+	for _, s := range ss {
+		totalSum += s.y
+		totalSum2 += s.y * s.y
+	}
+
+	minLeaf := b.cfg.MinSamplesLeaf
+	best := math.Inf(1)
+	leftSum, leftSum2 := 0.0, 0.0
+	for k := 0; k < n-1; k++ {
+		leftSum += ss[k].y
+		leftSum2 += ss[k].y * ss[k].y
+		if ss[k].v == ss[k+1].v {
+			continue // cannot split between equal values
+		}
+		nl := k + 1
+		nr := n - nl
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		rightSum := totalSum - leftSum
+		rightSum2 := totalSum2 - leftSum2
+		s := (leftSum2 - leftSum*leftSum/float64(nl)) +
+			(rightSum2 - rightSum*rightSum/float64(nr))
+		if s < best {
+			best = s
+			thr = ss[k].v + (ss[k+1].v-ss[k].v)/2
+			// Guard against midpoint rounding onto the upper value,
+			// which would send equal values both ways inconsistently.
+			if thr >= ss[k+1].v {
+				thr = ss[k].v
+			}
+			ok = true
+		}
+	}
+	return thr, best, ok
+}
+
+// randomSplit draws one uniform threshold in (min, max) of feature f
+// (extra-trees rule) and scores it.
+func (b *treeBuilder) randomSplit(idx []int, f int) (thr, sse float64, ok bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := b.X[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		return 0, 0, false
+	}
+	thr = lo + b.rng.Float64()*(hi-lo)
+	if thr >= hi { // keep the right side non-empty
+		thr = lo
+	}
+
+	nl, nr := 0, 0
+	leftSum, leftSum2, rightSum, rightSum2 := 0.0, 0.0, 0.0, 0.0
+	for _, i := range idx {
+		y := b.y[i]
+		if b.X[i][f] <= thr {
+			nl++
+			leftSum += y
+			leftSum2 += y * y
+		} else {
+			nr++
+			rightSum += y
+			rightSum2 += y * y
+		}
+	}
+	if nl < b.cfg.MinSamplesLeaf || nr < b.cfg.MinSamplesLeaf {
+		return 0, 0, false
+	}
+	sse = (leftSum2 - leftSum*leftSum/float64(nl)) +
+		(rightSum2 - rightSum*rightSum/float64(nr))
+	return thr, sse, true
+}

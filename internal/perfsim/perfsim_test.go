@@ -1,0 +1,242 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lam/internal/analytical"
+	"lam/internal/machine"
+)
+
+func stencilSim() *StencilSim {
+	return &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 1}
+}
+
+func fmmSim() *FMMSim {
+	return &FMMSim{Machine: machine.BlueWatersXE6(), Seed: 1}
+}
+
+func TestStencilSimPositiveFinite(t *testing.T) {
+	s := stencilSim()
+	cases := []StencilWorkload{
+		{I: 16, J: 16, K: 1},
+		{I: 128, J: 128, K: 128},
+		{I: 1, J: 128, K: 128, TJ: 8, TK: 8},
+		{I: 256, J: 256, K: 256, Threads: 16},
+		{I: 64, J: 64, K: 64, TI: 16, TJ: 16, TK: 16, Unroll: 4, Threads: 8},
+	}
+	for _, w := range cases {
+		got, err := s.Measure(w)
+		if err != nil {
+			t.Fatalf("%+v: %v", w, err)
+		}
+		if got <= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%+v: time %v", w, got)
+		}
+	}
+}
+
+func TestStencilSimDeterministic(t *testing.T) {
+	s1 := stencilSim()
+	s2 := stencilSim()
+	w := StencilWorkload{I: 64, J: 64, K: 64, TI: 8, TJ: 8, TK: 8, Threads: 4}
+	a, _ := s1.Measure(w)
+	b, _ := s2.Measure(w)
+	if a != b {
+		t.Errorf("same seed produced %v and %v", a, b)
+	}
+	s3 := &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 2}
+	c, _ := s3.Measure(w)
+	if a == c {
+		t.Error("different seeds should perturb the measurement")
+	}
+}
+
+func TestStencilSimNoiseBounded(t *testing.T) {
+	noisy := stencilSim()
+	clean := &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	f := func(j, k uint8) bool {
+		w := StencilWorkload{I: 32, J: 16 + int(j)%112, K: 16 + int(k)%112}
+		a, err := noisy.Measure(w)
+		if err != nil {
+			return false
+		}
+		b, err := clean.Measure(w)
+		if err != nil {
+			return false
+		}
+		r := a / b
+		return r > 0.85 && r < 1.25 // 3σ of 3.5% plus 8% jitter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStencilSimMoreThreadsNeverMuchSlower(t *testing.T) {
+	// Memory-bound large grid: threads should help up to saturation.
+	s := &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	w := StencilWorkload{I: 192, J: 192, K: 192}
+	t1, _ := s.Measure(w)
+	w.Threads = 4
+	t4, _ := s.Measure(w)
+	if t4 >= t1 {
+		t.Errorf("4 threads (%v) should beat 1 thread (%v) on a large grid", t4, t1)
+	}
+}
+
+func TestStencilSimTinyBlocksPenalised(t *testing.T) {
+	s := &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	good, _ := s.Measure(StencilWorkload{I: 128, J: 128, K: 64})
+	bad, _ := s.Measure(StencilWorkload{I: 128, J: 128, K: 64, TI: 1, TJ: 1, TK: 1})
+	if bad < 2*good {
+		t.Errorf("1×1×1 blocking (%v) should be far slower than unblocked (%v)", bad, good)
+	}
+}
+
+func TestStencilSimUnrollHelps(t *testing.T) {
+	// A compute-heavy small-cache configuration: unroll 4 beats none.
+	s := &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	w0 := StencilWorkload{I: 64, J: 64, K: 64}
+	w4 := StencilWorkload{I: 64, J: 64, K: 64, Unroll: 4}
+	a, _ := s.Measure(w0)
+	b, _ := s.Measure(w4)
+	if b > a {
+		t.Errorf("unroll 4 (%v) should not be slower than no unroll (%v)", b, a)
+	}
+}
+
+func TestStencilSimErrors(t *testing.T) {
+	s := &StencilSim{}
+	if _, err := s.Measure(StencilWorkload{I: 4, J: 4, K: 4}); err == nil {
+		t.Error("expected error without machine")
+	}
+	s = stencilSim()
+	if _, err := s.Measure(StencilWorkload{I: 0, J: 4, K: 4}); err == nil {
+		t.Error("expected error for bad grid")
+	}
+}
+
+func TestStencilSimVsAnalyticalGridRegion(t *testing.T) {
+	// In the Fig. 5 region (cubic grids, no blocking, serial) the
+	// paper treats the AM as accurate: our simulator must agree within
+	// ~25% there, else Fig. 5's premise breaks.
+	s := &StencilSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	model := &analytical.StencilModel{Machine: machine.BlueWatersXE6(), WriteAllocate: true}
+	worst := 0.0
+	for dim := 128; dim <= 256; dim += 16 {
+		sim, err := s.Measure(StencilWorkload{I: dim, J: dim, K: dim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := model.Predict(analytical.StencilParams{I: dim, J: dim, K: dim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ape := math.Abs(pred-sim) / sim
+		if ape > worst {
+			worst = ape
+		}
+	}
+	if worst > 0.30 {
+		t.Errorf("AM error in the accurate region = %.1f%%, want <= 30%%", worst*100)
+	}
+}
+
+func TestFMMSimPositiveFinite(t *testing.T) {
+	s := fmmSim()
+	for _, w := range []FMMWorkload{
+		{N: 4096, Q: 32, K: 2},
+		{N: 16384, Q: 512, K: 12, Threads: 16},
+		{N: 8192, Q: 8, K: 6, Threads: 3},
+	} {
+		got, err := s.Measure(w)
+		if err != nil {
+			t.Fatalf("%+v: %v", w, err)
+		}
+		if got <= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%+v: time %v", w, got)
+		}
+	}
+}
+
+func TestFMMSimOrderDominates(t *testing.T) {
+	s := &FMMSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	lo, _ := s.Measure(FMMWorkload{N: 8192, Q: 64, K: 2})
+	hi, _ := s.Measure(FMMWorkload{N: 8192, Q: 64, K: 12})
+	if hi < 20*lo {
+		t.Errorf("k=12 (%v) should dwarf k=2 (%v)", hi, lo)
+	}
+}
+
+func TestFMMSimThreadsHelpLargeProblems(t *testing.T) {
+	s := &FMMSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	serial, _ := s.Measure(FMMWorkload{N: 16384, Q: 64, K: 8})
+	par, _ := s.Measure(FMMWorkload{N: 16384, Q: 64, K: 8, Threads: 8})
+	if par >= serial {
+		t.Errorf("8 threads (%v) should beat serial (%v)", par, serial)
+	}
+	if serial/par > 8 {
+		t.Errorf("speedup %v exceeds thread count", serial/par)
+	}
+}
+
+func TestFMMSimDiminishingThreadReturns(t *testing.T) {
+	// Small problem: going from 8 to 16 threads helps less than 1→2.
+	s := &FMMSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	t1, _ := s.Measure(FMMWorkload{N: 4096, Q: 256, K: 3, Threads: 1})
+	t2, _ := s.Measure(FMMWorkload{N: 4096, Q: 256, K: 3, Threads: 2})
+	t8, _ := s.Measure(FMMWorkload{N: 4096, Q: 256, K: 3, Threads: 8})
+	t16, _ := s.Measure(FMMWorkload{N: 4096, Q: 256, K: 3, Threads: 16})
+	gainEarly := t1 / t2
+	gainLate := t8 / t16
+	if gainLate >= gainEarly {
+		t.Errorf("late speedup %v should trail early speedup %v", gainLate, gainEarly)
+	}
+}
+
+func TestFMMSimQTradeoff(t *testing.T) {
+	s := &FMMSim{Machine: machine.BlueWatersXE6(), Seed: 1, NoiseLevel: -1}
+	tiny, _ := s.Measure(FMMWorkload{N: 16384, Q: 2, K: 6})
+	mid, _ := s.Measure(FMMWorkload{N: 16384, Q: 128, K: 6})
+	huge, _ := s.Measure(FMMWorkload{N: 16384, Q: 8192, K: 6})
+	if mid >= tiny || mid >= huge {
+		t.Errorf("q trade-off broken: q=2 %v, q=128 %v, q=8192 %v", tiny, mid, huge)
+	}
+}
+
+func TestFMMSimErrors(t *testing.T) {
+	s := &FMMSim{}
+	if _, err := s.Measure(FMMWorkload{N: 10, Q: 1, K: 1}); err == nil {
+		t.Error("expected error without machine")
+	}
+	s = fmmSim()
+	for _, w := range []FMMWorkload{{N: 0, Q: 1, K: 1}, {N: 10, Q: 0, K: 1}, {N: 10, Q: 1, K: 0}} {
+		if _, err := s.Measure(w); err == nil {
+			t.Errorf("expected error for %+v", w)
+		}
+	}
+}
+
+func TestFMMSimDeterministic(t *testing.T) {
+	a, _ := fmmSim().Measure(FMMWorkload{N: 8192, Q: 64, K: 5, Threads: 4})
+	b, _ := fmmSim().Measure(FMMWorkload{N: 8192, Q: 64, K: 5, Threads: 4})
+	if a != b {
+		t.Errorf("FMM sim not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestBoundaryFactorRange(t *testing.T) {
+	f := func(raw uint16) bool {
+		leaves := 1 + float64(raw)
+		b := boundaryFactor(leaves)
+		return b >= 0.2 && b <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if boundaryFactor(8) >= boundaryFactor(32768) {
+		t.Error("bigger trees should have larger interior fraction")
+	}
+}

@@ -1,0 +1,85 @@
+// Package stencil implements the 7-point 3-D Jacobi stencil the paper
+// models (Section II.A), with the optimisations PATUS exposes: spatial
+// loop blocking (bi, bj, bk), inner-loop unrolling (u in 0..8) and
+// multi-threading (t). It is the runnable counterpart of the
+// configuration space X = (I, J, K, bi, bj, bk, u, t); the performance
+// simulator in internal/perfsim stands in for measuring these kernels on
+// Blue Waters.
+package stencil
+
+import "fmt"
+
+// Grid is a 3-D scalar field with a one-point ghost layer on every face,
+// stored row-major with i fastest.
+type Grid struct {
+	// I, J, K are interior dimensions.
+	I, J, K int
+	// ii, jj are padded strides.
+	ii, jj int
+	data   []float64
+}
+
+// NewGrid allocates a zeroed grid with interior size I×J×K.
+func NewGrid(i, j, k int) (*Grid, error) {
+	if i <= 0 || j <= 0 || k <= 0 {
+		return nil, fmt.Errorf("stencil: non-positive grid %dx%dx%d", i, j, k)
+	}
+	ii, jj, kk := i+2, j+2, k+2
+	return &Grid{I: i, J: j, K: k, ii: ii, jj: jj, data: make([]float64, ii*jj*kk)}, nil
+}
+
+// idx maps padded coordinates (including ghosts: 0..dim+1) to the flat
+// index.
+func (g *Grid) idx(i, j, k int) int {
+	return (k*g.jj+j)*g.ii + i
+}
+
+// At returns the value at padded coordinates.
+func (g *Grid) At(i, j, k int) float64 { return g.data[g.idx(i, j, k)] }
+
+// Set stores a value at padded coordinates.
+func (g *Grid) Set(i, j, k int, v float64) { g.data[g.idx(i, j, k)] = v }
+
+// Fill sets every point (ghosts included) to f(i, j, k) over padded
+// coordinates.
+func (g *Grid) Fill(f func(i, j, k int) float64) {
+	for k := 0; k < g.K+2; k++ {
+		for j := 0; j < g.J+2; j++ {
+			for i := 0; i < g.I+2; i++ {
+				g.Set(i, j, k, f(i, j, k))
+			}
+		}
+	}
+}
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	out := *g
+	out.data = make([]float64, len(g.data))
+	copy(out.data, g.data)
+	return &out
+}
+
+// MaxAbsDiff returns the largest absolute interior difference between
+// two grids of equal shape.
+func (g *Grid) MaxAbsDiff(o *Grid) (float64, error) {
+	if g.I != o.I || g.J != o.J || g.K != o.K {
+		return 0, fmt.Errorf("stencil: comparing %dx%dx%d grid with %dx%dx%d",
+			g.I, g.J, g.K, o.I, o.J, o.K)
+	}
+	max := 0.0
+	for k := 1; k <= g.K; k++ {
+		for j := 1; j <= g.J; j++ {
+			for i := 1; i <= g.I; i++ {
+				d := g.At(i, j, k) - o.At(i, j, k)
+				if d < 0 {
+					d = -d
+				}
+				if d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max, nil
+}

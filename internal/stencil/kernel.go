@@ -1,0 +1,198 @@
+package stencil
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config selects the kernel variant: the paper's PATUS modelling vector
+// X = (I, J, K, bi, bj, bk, u, t) plus the discretisation coefficients.
+type Config struct {
+	// BI, BJ, BK are spatial block sizes; 0 disables blocking in that
+	// dimension.
+	BI, BJ, BK int
+	// Unroll is the innermost-loop unroll factor, 0 (none) through 8.
+	Unroll int
+	// Threads is the worker count; 0 and 1 both mean serial.
+	Threads int
+	// TimeSteps is the number of Jacobi sweeps; 0 means 1.
+	TimeSteps int
+	// C0, C1 are the centre and neighbour coefficients. Both zero means
+	// the heat-equation default (C0 = 0.4, C1 = 0.1).
+	C0, C1 float64
+}
+
+func (c Config) normalized(g *Grid) Config {
+	if c.BI <= 0 || c.BI > g.I {
+		c.BI = g.I
+	}
+	if c.BJ <= 0 || c.BJ > g.J {
+		c.BJ = g.J
+	}
+	if c.BK <= 0 || c.BK > g.K {
+		c.BK = g.K
+	}
+	if c.Unroll < 0 {
+		c.Unroll = 0
+	}
+	if c.Unroll > 8 {
+		c.Unroll = 8
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.TimeSteps < 1 {
+		c.TimeSteps = 1
+	}
+	if c.C0 == 0 && c.C1 == 0 {
+		c.C0, c.C1 = 0.4, 0.1
+	}
+	return c
+}
+
+// Validate reports configuration errors that normalisation cannot fix.
+func (c Config) Validate() error {
+	if c.Unroll > 8 {
+		return fmt.Errorf("stencil: unroll factor %d exceeds 8", c.Unroll)
+	}
+	return nil
+}
+
+// Run performs cfg.TimeSteps Jacobi sweeps of the 7-point stencil over
+// src, using dst as scratch. It returns the grid holding the final
+// values (src or dst depending on parity). Both grids must have equal
+// shape; ghost layers act as Dirichlet boundary values and are never
+// written.
+func Run(src, dst *Grid, cfg Config) (*Grid, error) {
+	if src.I != dst.I || src.J != dst.J || src.K != dst.K {
+		return nil, fmt.Errorf("stencil: src %dx%dx%d and dst %dx%dx%d differ",
+			src.I, src.J, src.K, dst.I, dst.J, dst.K)
+	}
+	c := cfg.normalized(src)
+	// Copy ghost layer once so the scratch grid has the same boundary.
+	copyGhosts(src, dst)
+	cur, nxt := src, dst
+	for ts := 0; ts < c.TimeSteps; ts++ {
+		sweep(cur, nxt, c)
+		cur, nxt = nxt, cur
+	}
+	return cur, nil
+}
+
+// copyGhosts copies the full boundary shell from src to dst.
+func copyGhosts(src, dst *Grid) {
+	for k := 0; k < src.K+2; k++ {
+		for j := 0; j < src.J+2; j++ {
+			for i := 0; i < src.I+2; i++ {
+				if k == 0 || k == src.K+1 || j == 0 || j == src.J+1 || i == 0 || i == src.I+1 {
+					dst.Set(i, j, k, src.At(i, j, k))
+				}
+			}
+		}
+	}
+}
+
+// sweep applies one Jacobi update of the interior.
+func sweep(src, dst *Grid, c Config) {
+	if c.Threads <= 1 {
+		sweepRange(src, dst, c, 1, src.K+1)
+		return
+	}
+	// Parallel over k-slabs, mirroring OpenMP static scheduling of the
+	// outer loop in PATUS-generated code.
+	var wg sync.WaitGroup
+	n := src.K
+	t := c.Threads
+	if t > n {
+		t = n
+	}
+	for w := 0; w < t; w++ {
+		k0 := 1 + w*n/t
+		k1 := 1 + (w+1)*n/t
+		wg.Add(1)
+		go func(k0, k1 int) {
+			defer wg.Done()
+			sweepRange(src, dst, c, k0, k1)
+		}(k0, k1)
+	}
+	wg.Wait()
+}
+
+// sweepRange updates interior points with k in [k0, k1), applying
+// spatial blocking and inner-loop unrolling.
+func sweepRange(src, dst *Grid, c Config, k0, k1 int) {
+	c0, c1 := c.C0, c.C1
+	ii := src.ii
+	jj := src.jj
+	s := src.data
+	d := dst.data
+	stepI := c.BI
+	stepJ := c.BJ
+	stepK := c.BK
+	for kb := k0; kb < k1; kb += stepK {
+		kEnd := min(kb+stepK, k1)
+		for jb := 1; jb <= src.J; jb += stepJ {
+			jEnd := min(jb+stepJ, src.J+1)
+			for ib := 1; ib <= src.I; ib += stepI {
+				iEnd := min(ib+stepI, src.I+1)
+				for k := kb; k < kEnd; k++ {
+					for j := jb; j < jEnd; j++ {
+						row := (k*jj + j) * ii
+						up := row + ii
+						down := row - ii
+						front := row + ii*jj
+						back := row - ii*jj
+						i := ib
+						u := c.Unroll
+						if u >= 2 {
+							for ; i+u <= iEnd; i += u {
+								for o := 0; o < u; o++ {
+									p := i + o
+									d[row+p] = c0*s[row+p] + c1*(s[row+p-1]+s[row+p+1]+
+										s[down+p]+s[up+p]+s[back+p]+s[front+p])
+								}
+							}
+						}
+						for ; i < iEnd; i++ {
+							d[row+i] = c0*s[row+i] + c1*(s[row+i-1]+s[row+i+1]+
+								s[down+i]+s[up+i]+s[back+i]+s[front+i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Reference performs one naive, unblocked, serial sweep — the oracle the
+// tests compare optimised variants against.
+func Reference(src, dst *Grid, c0, c1 float64) error {
+	if src.I != dst.I || src.J != dst.J || src.K != dst.K {
+		return fmt.Errorf("stencil: mismatched grids")
+	}
+	if c0 == 0 && c1 == 0 {
+		c0, c1 = 0.4, 0.1
+	}
+	for k := 1; k <= src.K; k++ {
+		for j := 1; j <= src.J; j++ {
+			for i := 1; i <= src.I; i++ {
+				dst.Set(i, j, k, c0*src.At(i, j, k)+c1*(src.At(i-1, j, k)+src.At(i+1, j, k)+
+					src.At(i, j-1, k)+src.At(i, j+1, k)+
+					src.At(i, j, k-1)+src.At(i, j, k+1)))
+			}
+		}
+	}
+	return nil
+}
+
+// FlopsPerPoint is the floating-point work of one 7-point update:
+// 6 additions inside the neighbour sum, 2 multiplications and 1 final
+// addition.
+const FlopsPerPoint = 9
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

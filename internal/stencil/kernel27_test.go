@@ -1,0 +1,91 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRun27MatchesReference(t *testing.T) {
+	cases := []Config{
+		{},
+		{BI: 5, BJ: 4, BK: 3},
+		{Threads: 4},
+		{BI: 7, BJ: 3, BK: 2, Threads: 3},
+	}
+	for _, cfg := range cases {
+		src := mustGrid(t, 14, 11, 9)
+		fillTest(src)
+		ra, rb := src.Clone(), src.Clone()
+		if err := Reference27(ra, rb, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		cfg.TimeSteps = 1
+		a, b := src.Clone(), src.Clone()
+		got, err := Run27(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, err := got.MaxAbsDiff(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff > 1e-12 {
+			t.Errorf("config %+v: max diff %g", cfg, diff)
+		}
+	}
+}
+
+func TestRun27MultiStep(t *testing.T) {
+	src := mustGrid(t, 10, 10, 6)
+	fillTest(src)
+	ra, rb := src.Clone(), src.Clone()
+	for s := 0; s < 3; s++ {
+		if err := Reference27(ra, rb, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		ra, rb = rb, ra
+	}
+	a, b := src.Clone(), src.Clone()
+	got, err := Run27(a, b, Config{TimeSteps: 3, BI: 4, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := got.MaxAbsDiff(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-12 {
+		t.Errorf("3-step diff %g", diff)
+	}
+}
+
+func TestRun27ConservesConstantField(t *testing.T) {
+	// With C0 + 26·C1 = 1 a constant field is a fixed point.
+	g := mustGrid(t, 6, 6, 6)
+	g.Fill(func(i, j, k int) float64 { return 2.0 })
+	d := g.Clone()
+	out, err := Run27(g, d, Config{C0: 0.48, C1: 0.02, TimeSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		for j := 1; j <= 6; j++ {
+			for i := 1; i <= 6; i++ {
+				if v := out.At(i, j, k); math.Abs(v-2.0) > 1e-12 {
+					t.Fatalf("drifted to %v at (%d,%d,%d)", v, i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRun27ShapeMismatch(t *testing.T) {
+	a := mustGrid(t, 4, 4, 4)
+	b := mustGrid(t, 5, 4, 4)
+	if _, err := Run27(a, b, Config{}); err == nil {
+		t.Error("expected shape error")
+	}
+	if err := Reference27(a, b, 0, 0); err == nil {
+		t.Error("expected shape error")
+	}
+}

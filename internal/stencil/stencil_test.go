@@ -1,0 +1,212 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fillTest seeds a grid with a deterministic smooth-ish pattern.
+func fillTest(g *Grid) {
+	g.Fill(func(i, j, k int) float64 {
+		return math.Sin(float64(i)*0.3) + math.Cos(float64(j)*0.7) + float64(k)*0.01
+	})
+}
+
+func mustGrid(t *testing.T, i, j, k int) *Grid {
+	t.Helper()
+	g, err := NewGrid(i, j, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 1, 1); err == nil {
+		t.Error("expected error for zero dimension")
+	}
+	if _, err := NewGrid(4, -1, 4); err == nil {
+		t.Error("expected error for negative dimension")
+	}
+}
+
+func TestGridSetAt(t *testing.T) {
+	g := mustGrid(t, 3, 3, 3)
+	g.Set(2, 1, 3, 42)
+	if got := g.At(2, 1, 3); got != 42 {
+		t.Errorf("At = %v, want 42", got)
+	}
+	if got := g.At(1, 1, 1); got != 0 {
+		t.Errorf("untouched cell = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := mustGrid(t, 2, 2, 2)
+	g.Set(1, 1, 1, 5)
+	c := g.Clone()
+	c.Set(1, 1, 1, 9)
+	if g.At(1, 1, 1) != 5 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	a := mustGrid(t, 2, 2, 2)
+	b := mustGrid(t, 3, 2, 2)
+	if _, err := a.MaxAbsDiff(b); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+// runMatchesReference checks that an optimised configuration reproduces
+// the reference kernel bit-for-bit ordering-independent results to
+// rounding tolerance.
+func runMatchesReference(t *testing.T, cfg Config, steps int) {
+	t.Helper()
+	src := mustGrid(t, 20, 17, 9)
+	fillTest(src)
+
+	// Reference: ping-pong manually.
+	ra, rb := src.Clone(), src.Clone()
+	for s := 0; s < steps; s++ {
+		if err := Reference(ra, rb, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		ra, rb = rb, ra
+	}
+
+	cfg.TimeSteps = steps
+	a, b := src.Clone(), src.Clone()
+	got, err := Run(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := got.MaxAbsDiff(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-13 {
+		t.Errorf("config %+v: max diff vs reference = %g", cfg, diff)
+	}
+}
+
+func TestRunMatchesReferenceVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"naive", Config{}},
+		{"blocked-small", Config{BI: 4, BJ: 4, BK: 2}},
+		{"blocked-uneven", Config{BI: 7, BJ: 5, BK: 3}},
+		{"blocked-oversize", Config{BI: 100, BJ: 100, BK: 100}},
+		{"unroll2", Config{Unroll: 2}},
+		{"unroll4", Config{Unroll: 4}},
+		{"unroll8", Config{Unroll: 8}},
+		{"unroll-with-blocking", Config{BI: 6, BJ: 4, BK: 3, Unroll: 4}},
+		{"threads2", Config{Threads: 2}},
+		{"threads8", Config{Threads: 8}},
+		{"everything", Config{BI: 5, BJ: 3, BK: 2, Unroll: 3, Threads: 4}},
+		{"threads-exceed-k", Config{Threads: 64}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			runMatchesReference(t, c.cfg, 1)
+			runMatchesReference(t, c.cfg, 3)
+		})
+	}
+}
+
+func TestRunPropertyRandomConfigs(t *testing.T) {
+	// Property: any normalised configuration computes the same field as
+	// the reference kernel.
+	f := func(bi, bj, bk, u, th uint8) bool {
+		cfg := Config{
+			BI:      int(bi%24) + 1,
+			BJ:      int(bj%24) + 1,
+			BK:      int(bk%12) + 1,
+			Unroll:  int(u % 9),
+			Threads: int(th%8) + 1,
+		}
+		src := mustGrid(t, 16, 13, 7)
+		fillTest(src)
+		ra, rb := src.Clone(), src.Clone()
+		if err := Reference(ra, rb, 0, 0); err != nil {
+			return false
+		}
+		a, b := src.Clone(), src.Clone()
+		got, err := Run(a, b, cfg)
+		if err != nil {
+			return false
+		}
+		diff, err := got.MaxAbsDiff(rb)
+		if err != nil {
+			return false
+		}
+		return diff <= 1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunShapeMismatch(t *testing.T) {
+	a := mustGrid(t, 4, 4, 4)
+	b := mustGrid(t, 5, 4, 4)
+	if _, err := Run(a, b, Config{}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestGhostCellsActAsBoundary(t *testing.T) {
+	// With interior zero and hot ghost faces, one sweep must pull heat
+	// in only at the boundary-adjacent cells.
+	g := mustGrid(t, 4, 4, 4)
+	g.Fill(func(i, j, k int) float64 {
+		if i == 0 {
+			return 10
+		}
+		return 0
+	})
+	d := g.Clone()
+	out, err := Run(g, d, Config{TimeSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(1, 2, 2); got != 1.0 { // c1 * 10 = 0.1 * 10
+		t.Errorf("boundary-adjacent cell = %v, want 1.0", got)
+	}
+	if got := out.At(3, 2, 2); got != 0 {
+		t.Errorf("interior cell = %v, want 0", got)
+	}
+}
+
+func TestRunConservesConstantField(t *testing.T) {
+	// With C0 + 6*C1 = 1, a constant field is a fixed point.
+	g := mustGrid(t, 6, 6, 6)
+	g.Fill(func(i, j, k int) float64 { return 3.5 })
+	d := g.Clone()
+	out, err := Run(g, d, Config{TimeSteps: 5, BI: 3, BJ: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		for j := 1; j <= 6; j++ {
+			for i := 1; i <= 6; i++ {
+				if v := out.At(i, j, k); math.Abs(v-3.5) > 1e-12 {
+					t.Fatalf("constant field drifted to %v at (%d,%d,%d)", v, i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Unroll: 9}).Validate(); err == nil {
+		t.Error("expected unroll validation error")
+	}
+	if err := (Config{Unroll: 8}).Validate(); err != nil {
+		t.Errorf("unroll 8 should be valid: %v", err)
+	}
+}

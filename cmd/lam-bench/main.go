@@ -6,6 +6,11 @@
 //
 //	lam-bench [-fig all|fig3a|fig3b|fig5|fig6|fig7|fig8]
 //	          [-machine bluewaters|xeon|edge] [-seed N] [-reps N] [-trees N]
+//	          [-workers N]
+//
+// -workers bounds the worker pool used for ensemble fitting and the
+// per-figure sweeps (0 = GOMAXPROCS, 1 = fully sequential); results
+// are bit-identical for every value.
 package main
 
 import (
@@ -23,32 +28,47 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed for simulator noise and sampling")
 	reps := flag.Int("reps", 7, "training-set redraws per fraction")
 	trees := flag.Int("trees", 100, "ensemble size for tree models")
+	workers := flag.Int("workers", 0, "worker pool size for parallel fitting and sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
+	lam.SetWorkers(*workers)
 	m, err := lam.MachineByName(*machineName)
 	if err != nil {
 		fatal(err)
 	}
-	opts := lam.FigureOptions{Machine: m, Seed: *seed, Reps: *reps, Trees: *trees}
+	opts := lam.FigureOptions{Machine: m, Seed: *seed, Reps: *reps, Trees: *trees, Workers: *workers}
 
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = lam.FigureIDs()
 	}
-	fmt.Printf("machine: %s  seed: %d  reps: %d  trees: %d\n\n", m.Name, *seed, *reps, *trees)
-	for _, id := range ids {
+	fmt.Printf("machine: %s  seed: %d  reps: %d  trees: %d  workers: %d\n\n",
+		m.Name, *seed, *reps, *trees, lam.Workers())
+
+	// Regenerate every requested figure (concurrently when more than
+	// one), then render in input order.
+	reports := make([]*lam.Report, len(ids))
+	if len(ids) > 1 {
+		if reports, err = lam.Figures(ids, opts); err != nil {
+			fatal(err)
+		}
+	} else {
 		var r *lam.Report
-		switch id {
+		switch ids[0] {
 		case "ext-noise":
 			r, err = lam.NoiseSensitivity(opts, nil)
 		case "ext-transfer":
 			r, err = lam.HardwareTransfer(opts, nil, nil)
 		default:
-			r, err = lam.Figure(id, opts)
+			r, err = lam.Figure(ids[0], opts)
 		}
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			fatal(fmt.Errorf("%s: %w", ids[0], err))
 		}
+		reports[0] = r
+	}
+	for i, id := range ids {
+		r := reports[i]
 		if err := r.Render(os.Stdout); err != nil {
 			fatal(err)
 		}

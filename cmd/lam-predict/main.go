@@ -10,6 +10,10 @@
 //
 // Models: et (extra trees), rf (random forest), dt (decision tree),
 // hybrid (requires -workload to select the analytical model).
+//
+// -workers bounds the worker pool used for ensemble fitting and batch
+// prediction (0 = GOMAXPROCS, 1 = fully sequential); predictions are
+// bit-identical for every value.
 package main
 
 import (
@@ -33,8 +37,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "sampling and model seed")
 	trees := flag.Int("trees", 100, "ensemble size")
 	show := flag.Int("show", 5, "example predictions to print")
+	workers := flag.Int("workers", 0, "worker pool size for training and batch prediction (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
+	lam.SetWorkers(*workers)
 	if *dataPath == "" {
 		fatal(fmt.Errorf("-data is required"))
 	}
@@ -75,7 +81,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("analytical model alone: MAPE %.2f%%\n", amMAPE)
-		hy, err := lam.TrainHybrid(train, am, hybrid.Config{Seed: *seed})
+		hy, err := lam.TrainHybrid(train, am, hybrid.Config{Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

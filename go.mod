@@ -1,0 +1,3 @@
+module lam
+
+go 1.24.0

@@ -7,6 +7,7 @@ import (
 	"lam/internal/dataset"
 	"lam/internal/hybrid"
 	"lam/internal/ml"
+	"lam/internal/parallel"
 	"lam/internal/xmath"
 )
 
@@ -87,41 +88,59 @@ type Series struct {
 
 // MAPECurve sweeps training-set fractions: at each fraction it redraws
 // a uniform random training set reps times (fresh model seed per draw),
-// trains, and scores MAPE on the complement.
+// trains, and scores MAPE on the complement. Trials run on the process
+// default worker pool; see MAPECurveWorkers.
 func MAPECurve(ds *dataset.Dataset, newModel func(seed int64) Trainable, fractions []float64, reps int, seed int64, label string) (Series, error) {
+	return MAPECurveWorkers(ds, newModel, fractions, reps, seed, label, 0)
+}
+
+// MAPECurveWorkers is MAPECurve with an explicit worker count (<= 0
+// means the process default, 1 forces sequential evaluation). The
+// (fraction, repetition) trials are independent: each derives its draw
+// seed from (seed, fraction index, repetition index) before fan-out
+// and writes its score by trial index, so the series is bit-identical
+// for every worker count.
+func MAPECurveWorkers(ds *dataset.Dataset, newModel func(seed int64) Trainable, fractions []float64, reps int, seed int64, label string, workers int) (Series, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	s := Series{Label: label, Fractions: fractions, Reps: reps}
-	for fi, frac := range fractions {
-		scores := make([]float64, 0, reps)
-		for r := 0; r < reps; r++ {
-			drawSeed := int64(xmath.Hash64(uint64(seed), uint64(fi), uint64(r)))
-			rng := rand.New(rand.NewSource(drawSeed))
-			train, test, err := ds.SampleFraction(frac, rng)
-			if err != nil {
-				return Series{}, err
-			}
-			if train.Len() == 0 || test.Len() == 0 {
-				return Series{}, fmt.Errorf("experiments: degenerate split at fraction %v", frac)
-			}
-			m := newModel(drawSeed)
-			if err := m.Fit(train); err != nil {
-				return Series{}, fmt.Errorf("experiments: fit at fraction %v rep %d: %w", frac, r, err)
-			}
-			pred := make([]float64, test.Len())
-			for i, x := range test.X {
-				p, err := m.Predict(x)
-				if err != nil {
-					return Series{}, err
-				}
-				pred[i] = p
-			}
-			scores = append(scores, ml.MAPE(test.Y, pred))
+	scores := make([]float64, len(fractions)*reps)
+	err := parallel.ForErr(len(scores), workers, func(u int) error {
+		fi, r := u/reps, u%reps
+		frac := fractions[fi]
+		drawSeed := int64(xmath.Hash64(uint64(seed), uint64(fi), uint64(r)))
+		rng := rand.New(rand.NewSource(drawSeed))
+		train, test, err := ds.SampleFraction(frac, rng)
+		if err != nil {
+			return err
 		}
-		s.MeanMAPE = append(s.MeanMAPE, xmath.Mean(scores))
-		s.StdMAPE = append(s.StdMAPE, xmath.StdDev(scores))
-		s.MedianMAPE = append(s.MedianMAPE, xmath.Median(scores))
+		if train.Len() == 0 || test.Len() == 0 {
+			return fmt.Errorf("experiments: degenerate split at fraction %v", frac)
+		}
+		m := newModel(drawSeed)
+		if err := m.Fit(train); err != nil {
+			return fmt.Errorf("experiments: fit at fraction %v rep %d: %w", frac, r, err)
+		}
+		pred := make([]float64, test.Len())
+		for i, x := range test.X {
+			p, err := m.Predict(x)
+			if err != nil {
+				return err
+			}
+			pred[i] = p
+		}
+		scores[u] = ml.MAPE(test.Y, pred)
+		return nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	for fi := range fractions {
+		fs := scores[fi*reps : (fi+1)*reps]
+		s.MeanMAPE = append(s.MeanMAPE, xmath.Mean(fs))
+		s.StdMAPE = append(s.StdMAPE, xmath.StdDev(fs))
+		s.MedianMAPE = append(s.MedianMAPE, xmath.Median(fs))
 	}
 	return s, nil
 }

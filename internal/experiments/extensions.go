@@ -8,6 +8,7 @@ import (
 
 	"lam/internal/hybrid"
 	"lam/internal/machine"
+	"lam/internal/parallel"
 	"lam/internal/perfsim"
 )
 
@@ -32,41 +33,57 @@ func NoiseSensitivity(opts Options, noiseLevels []float64) (*Report, error) {
 	et := Series{Label: "Extra Trees (pure ML)", Reps: o.Reps}
 	hy := Series{Label: "Hybrid Model", Reps: o.Reps}
 	am := Series{Label: "Analytical Model alone", Reps: 1}
-	for _, nl := range noiseLevels {
+	// Each noise level builds its own simulator and dataset, so the
+	// levels are fully independent; run them on the worker pool and
+	// assemble the series in level order afterwards.
+	type levelResult struct {
+		etc, hyc Series
+		amMAPE   float64
+		size     int
+	}
+	results, err := parallel.MapErr(len(noiseLevels), o.Workers, func(li int) (levelResult, error) {
+		nl := noiseLevels[li]
 		sim := &perfsim.StencilSim{Machine: o.Machine, Seed: uint64(o.Seed), NoiseLevel: nl}
 		ds, err := StencilBlockingDataset(sim)
 		if err != nil {
-			return nil, err
+			return levelResult{}, err
 		}
-		r.DatasetSize = ds.Len()
 		amModel := StencilBlockingAM(o.Machine)
 
-		etc, err := MAPECurve(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
-			[]float64{0.02}, o.Reps, o.Seed, "et")
+		etc, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
+			[]float64{0.02}, o.Reps, o.Seed, "et", o.Workers)
 		if err != nil {
-			return nil, err
+			return levelResult{}, err
 		}
-		hyc, err := MAPECurve(ds, HybridTrainable(amModel, hybrid.Config{}),
-			[]float64{0.02}, o.Reps, o.Seed, "hy")
+		hyc, err := MAPECurveWorkers(ds, HybridTrainable(amModel, hybrid.Config{Workers: o.Workers}),
+			[]float64{0.02}, o.Reps, o.Seed, "hy", o.Workers)
 		if err != nil {
-			return nil, err
+			return levelResult{}, err
 		}
 		amMAPE, err := hybrid.AnalyticalMAPE(ds, amModel)
 		if err != nil {
-			return nil, err
+			return levelResult{}, err
 		}
+		return levelResult{etc: etc, hyc: hyc, amMAPE: amMAPE, size: ds.Len()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, res := range results {
+		nl := noiseLevels[li]
+		r.DatasetSize = res.size
 		et.Fractions = append(et.Fractions, nl)
-		et.MeanMAPE = append(et.MeanMAPE, etc.MeanMAPE[0])
-		et.StdMAPE = append(et.StdMAPE, etc.StdMAPE[0])
-		et.MedianMAPE = append(et.MedianMAPE, etc.MedianMAPE[0])
+		et.MeanMAPE = append(et.MeanMAPE, res.etc.MeanMAPE[0])
+		et.StdMAPE = append(et.StdMAPE, res.etc.StdMAPE[0])
+		et.MedianMAPE = append(et.MedianMAPE, res.etc.MedianMAPE[0])
 		hy.Fractions = append(hy.Fractions, nl)
-		hy.MeanMAPE = append(hy.MeanMAPE, hyc.MeanMAPE[0])
-		hy.StdMAPE = append(hy.StdMAPE, hyc.StdMAPE[0])
-		hy.MedianMAPE = append(hy.MedianMAPE, hyc.MedianMAPE[0])
+		hy.MeanMAPE = append(hy.MeanMAPE, res.hyc.MeanMAPE[0])
+		hy.StdMAPE = append(hy.StdMAPE, res.hyc.StdMAPE[0])
+		hy.MedianMAPE = append(hy.MedianMAPE, res.hyc.MedianMAPE[0])
 		am.Fractions = append(am.Fractions, nl)
-		am.MeanMAPE = append(am.MeanMAPE, amMAPE)
+		am.MeanMAPE = append(am.MeanMAPE, res.amMAPE)
 		am.StdMAPE = append(am.StdMAPE, 0)
-		am.MedianMAPE = append(am.MedianMAPE, amMAPE)
+		am.MedianMAPE = append(am.MedianMAPE, res.amMAPE)
 	}
 	r.Notes = append(r.Notes, "x axis is the simulator noise level σ, not a training fraction")
 	r.Series = []Series{et, hy, am}
@@ -101,11 +118,11 @@ func HardwareTransfer(opts Options, target *machine.Machine, budgets []float64) 
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("target-machine analytical model (from spec sheet, no data): MAPE = %.1f%%", amMAPE))
 
-	et, err := MAPECurve(ds, MLTrainable(DefaultPipeline("et", o.Trees)), budgets, o.Reps, o.Seed, "Extra Trees (pure ML)")
+	et, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline("et", o.Trees)), budgets, o.Reps, o.Seed, "Extra Trees (pure ML)", o.Workers)
 	if err != nil {
 		return nil, err
 	}
-	hy, err := MAPECurve(ds, HybridTrainable(am, hybrid.Config{}), budgets, o.Reps, o.Seed, "Hybrid Model")
+	hy, err := MAPECurveWorkers(ds, HybridTrainable(am, hybrid.Config{Workers: o.Workers}), budgets, o.Reps, o.Seed, "Hybrid Model", o.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"lam/internal/dataset"
 	"lam/internal/hybrid"
 	"lam/internal/machine"
+	"lam/internal/parallel"
 )
 
 // Options configures a figure run.
@@ -20,6 +21,11 @@ type Options struct {
 	Reps int
 	// Trees is the forest size; 0 means 100.
 	Trees int
+	// Workers bounds the sweep-level trial parallelism (and is passed
+	// to hybrid training); values <= 0 mean the process default
+	// (parallel.SetDefaultWorkers / GOMAXPROCS), 1 forces sequential
+	// sweeps. Every figure is bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -85,8 +91,8 @@ func Fig3Stencil(opts Options) (*Report, error) {
 	for _, kind := range []struct{ key, label string }{
 		{"dt", "Decision Trees"}, {"et", "Extra Trees"}, {"rf", "Random Forests"},
 	} {
-		s, err := MAPECurve(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
-			fractions, o.Reps, o.Seed, kind.label)
+		s, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
+			fractions, o.Reps, o.Seed, kind.label, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -112,8 +118,8 @@ func Fig3FMM(opts Options) (*Report, error) {
 	for _, kind := range []struct{ key, label string }{
 		{"dt", "Decision Trees"}, {"et", "Extra Trees"}, {"rf", "Random Forests"},
 	} {
-		s, err := MAPECurve(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
-			fractions, o.Reps, o.Seed, kind.label)
+		s, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
+			fractions, o.Reps, o.Seed, kind.label, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -136,15 +142,16 @@ func hybridVsET(id, title string, ds *dataset.Dataset, am hybrid.AnalyticalModel
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("standalone analytical model MAPE = %.1f%% (untuned)", amMAPE))
 
-	et, err := MAPECurve(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
-		etFractions, o.Reps, o.Seed, "Extra Trees (pure ML)")
+	et, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
+		etFractions, o.Reps, o.Seed, "Extra Trees (pure ML)", o.Workers)
 	if err != nil {
 		return nil, err
 	}
 	r.Series = append(r.Series, et)
 
-	hy, err := MAPECurve(ds, HybridTrainable(am, cfg),
-		hyFractions, o.Reps, o.Seed, "Hybrid Model")
+	cfg.Workers = o.Workers
+	hy, err := MAPECurveWorkers(ds, HybridTrainable(am, cfg),
+		hyFractions, o.Reps, o.Seed, "Hybrid Model", o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -239,4 +246,17 @@ func Run(id string, opts Options) (*Report, error) {
 // AllFigureIDs lists the reproducible figures in paper order.
 func AllFigureIDs() []string {
 	return []string{"fig3a", "fig3b", "fig5", "fig6", "fig7", "fig8"}
+}
+
+// RunMany regenerates several figures concurrently on the worker pool
+// and returns the reports in input order. Each figure is itself
+// deterministic, so the batch matches len(ids) sequential Run calls.
+func RunMany(ids []string, opts Options) ([]*Report, error) {
+	return parallel.MapErr(len(ids), opts.Workers, func(i int) (*Report, error) {
+		r, err := Run(ids[i], opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+		return r, nil
+	})
 }

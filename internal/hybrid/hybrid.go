@@ -22,11 +22,15 @@ import (
 
 	"lam/internal/dataset"
 	"lam/internal/ml"
+	"lam/internal/parallel"
 )
 
 // AnalyticalModel scores a raw (unscaled) feature vector with a
 // closed-form performance model. Implementations adapt the typed models
-// in internal/analytical to each dataset's feature layout.
+// in internal/analytical to each dataset's feature layout. Predict must
+// be safe for concurrent use (the models in internal/analytical are
+// pure functions of their machine description): batch scoring and the
+// experiment sweeps call it from the worker pool.
 type AnalyticalModel interface {
 	Predict(x []float64) (float64, error)
 }
@@ -84,13 +88,19 @@ type Config struct {
 	AggregateWeight float64
 	// Seed drives the ML component's randomness.
 	Seed int64
+	// Workers bounds training and batch-prediction parallelism; values
+	// <= 0 mean the process default. Predictions are bit-identical for
+	// every worker count.
+	Workers int
 }
 
 func (c Config) newML() ml.Regressor {
 	if c.NewML != nil {
 		return c.NewML()
 	}
-	return &ml.Pipeline{Model: ml.NewExtraTrees(100, c.Seed)}
+	et := ml.NewExtraTrees(100, c.Seed)
+	et.Workers = c.Workers
+	return &ml.Pipeline{Model: et}
 }
 
 // Model is a trained hybrid predictor.
@@ -116,12 +126,15 @@ func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, erro
 		return nil, err
 	}
 	amPred := make([]float64, train.Len())
-	for i, x := range train.X {
-		p, err := am.Predict(x)
+	if err := parallel.ForErr(train.Len(), cfg.Workers, func(i int) error {
+		p, err := am.Predict(train.X[i])
 		if err != nil {
-			return nil, fmt.Errorf("hybrid: analytical model on training sample %d: %w", i, err)
+			return fmt.Errorf("hybrid: analytical model on training sample %d: %w", i, err)
 		}
 		amPred[i] = p
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	m := &Model{cfg: cfg, am: am, nFeatures: train.NumFeatures()}
@@ -193,15 +206,21 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	return w*stacked + (1-w)*amP, nil
 }
 
-// PredictBatch scores every row of a dataset.
+// PredictBatch scores every row of a dataset on the worker pool; rows
+// are written by index, so the output is bit-identical for every
+// worker count.
 func (m *Model) PredictBatch(ds *dataset.Dataset) ([]float64, error) {
 	out := make([]float64, ds.Len())
-	for i, x := range ds.X {
-		p, err := m.Predict(x)
+	err := parallel.ForErr(ds.Len(), m.cfg.Workers, func(i int) error {
+		p, err := m.Predict(ds.X[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -221,12 +240,16 @@ func (m *Model) MAPE(test *dataset.Dataset) (float64, error) {
 // for FMM).
 func AnalyticalMAPE(ds *dataset.Dataset, am AnalyticalModel) (float64, error) {
 	pred := make([]float64, ds.Len())
-	for i, x := range ds.X {
-		p, err := am.Predict(x)
+	err := parallel.ForErr(ds.Len(), 0, func(i int) error {
+		p, err := am.Predict(ds.X[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
 		pred[i] = p
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return ml.MAPE(ds.Y, pred), nil
 }

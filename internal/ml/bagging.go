@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 
+	"lam/internal/parallel"
 	"lam/internal/xmath"
 )
 
@@ -21,6 +22,13 @@ type Bagging struct {
 	SampleFrac float64
 	// Seed drives the bootstrap resampling.
 	Seed int64
+	// Workers bounds fitting/prediction parallelism; values <= 0 mean
+	// the process default. NewBase must be safe to call concurrently
+	// (factories capturing only immutable state, as all estimators in
+	// this package are, qualify). Results are bit-identical for every
+	// worker count: each member's bootstrap RNG is derived from
+	// (Seed, member index) before fan-out.
+	Workers int
 
 	models []Regressor
 }
@@ -45,8 +53,8 @@ func (b *Bagging) Fit(X [][]float64, y []float64) error {
 	if size < 1 {
 		size = 1
 	}
-	b.models = b.models[:0]
-	for t := 0; t < n; t++ {
+	models := make([]Regressor, n)
+	err := parallel.ForErr(n, b.Workers, func(t int) error {
 		rng := rand.New(rand.NewSource(int64(xmath.Hash64(uint64(b.Seed), uint64(t), 0x62616767))))
 		bx := make([][]float64, size)
 		by := make([]float64, size)
@@ -59,8 +67,13 @@ func (b *Bagging) Fit(X [][]float64, y []float64) error {
 		if err := m.Fit(bx, by); err != nil {
 			return err
 		}
-		b.models = append(b.models, m)
+		models[t] = m
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	b.models = models
 	return nil
 }
 
@@ -74,6 +87,13 @@ func (b *Bagging) Predict(x []float64) float64 {
 		s += m.Predict(x)
 	}
 	return s / float64(len(b.models))
+}
+
+// PredictBatch scores every row of X on the worker pool; each row's
+// member contributions are summed in member order, so the output
+// matches sequential Predict calls exactly.
+func (b *Bagging) PredictBatch(X [][]float64) []float64 {
+	return PredictBatchWorkers(b, X, b.Workers)
 }
 
 // NumModels returns the number of fitted base models.

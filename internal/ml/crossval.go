@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math/rand"
+
+	"lam/internal/parallel"
 )
 
 // KFoldIndices partitions 0..n-1 into k shuffled folds whose sizes
@@ -25,19 +27,27 @@ func KFoldIndices(n, k int, rng *rand.Rand) [][]int {
 
 // CrossValScore runs k-fold cross-validation of the model produced by
 // newModel, scoring each held-out fold with score (e.g. MAPE), and
-// returns the per-fold scores.
+// returns the per-fold scores. Folds are evaluated on the process
+// default worker pool; see CrossValScoreWorkers.
 func CrossValScore(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, score func(yTrue, yPred []float64) float64) ([]float64, error) {
+	return CrossValScoreWorkers(newModel, X, y, k, seed, score, 0)
+}
+
+// CrossValScoreWorkers is CrossValScore with an explicit worker count
+// (<= 0 means the process default, 1 forces sequential evaluation).
+// The fold partition is drawn from the master seed before fan-out and
+// scores are stored by fold index, so the result is bit-identical for
+// every worker count. newModel must be safe to call concurrently.
+func CrossValScoreWorkers(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, score func(yTrue, yPred []float64) float64, workers int) ([]float64, error) {
 	if _, err := checkXY(X, y); err != nil {
 		return nil, err
 	}
 	n := len(X)
 	folds := KFoldIndices(n, k, rand.New(rand.NewSource(seed)))
-	scores := make([]float64, 0, len(folds))
-	inFold := make([]bool, n)
-	for f, fold := range folds {
-		for i := range inFold {
-			inFold[i] = false
-		}
+	scores := make([]float64, len(folds))
+	err := parallel.ForErr(len(folds), workers, func(f int) error {
+		fold := folds[f]
+		inFold := make([]bool, n)
 		for _, i := range fold {
 			inFold[i] = true
 		}
@@ -51,7 +61,7 @@ func CrossValScore(newModel func() Regressor, X [][]float64, y []float64, k int,
 		}
 		m := newModel()
 		if err := m.Fit(trX, trY); err != nil {
-			return nil, fmt.Errorf("ml: cross-validation fold %d: %w", f, err)
+			return fmt.Errorf("ml: cross-validation fold %d: %w", f, err)
 		}
 		yt := make([]float64, len(fold))
 		yp := make([]float64, len(fold))
@@ -59,7 +69,11 @@ func CrossValScore(newModel func() Regressor, X [][]float64, y []float64, k int,
 			yt[j] = y[i]
 			yp[j] = m.Predict(X[i])
 		}
-		scores = append(scores, score(yt, yp))
+		scores[f] = score(yt, yp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return scores, nil
 }

@@ -2,9 +2,8 @@ package ml
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"lam/internal/parallel"
 	"lam/internal/xmath"
 )
 
@@ -23,7 +22,9 @@ type Forest struct {
 	Bootstrap bool
 	// Seed drives bootstrap sampling and per-tree randomness.
 	Seed int64
-	// Workers bounds fitting parallelism; 0 means GOMAXPROCS.
+	// Workers bounds fitting/prediction parallelism; values <= 0 mean
+	// the process default (parallel.DefaultWorkers). Results are
+	// bit-identical for every worker count.
 	Workers int
 
 	trees     []*DecisionTree
@@ -68,50 +69,35 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if nTrees < 1 {
 		nTrees = 100
 	}
-	workers := f.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nTrees {
-		workers = nTrees
-	}
-
 	trees := make([]*DecisionTree, nTrees)
-	errs := make([]error, nTrees)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for t := 0; t < nTrees; t++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(t int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			treeSeed := int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x7265657301))
-			cfg := f.Tree
-			cfg.Seed = treeSeed
+	err = parallel.ForErr(nTrees, f.Workers, func(t int) error {
+		// Every tree's randomness derives only from (Seed, t), so the
+		// worker pool cannot perturb the fitted ensemble.
+		treeSeed := int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x7265657301))
+		cfg := f.Tree
+		cfg.Seed = treeSeed
 
-			tx, ty := X, y
-			if f.Bootstrap {
-				rng := rand.New(rand.NewSource(int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x626f6f74))))
-				bx := make([][]float64, n)
-				by := make([]float64, n)
-				for i := 0; i < n; i++ {
-					j := rng.Intn(n)
-					bx[i] = X[j]
-					by[i] = y[j]
-				}
-				tx, ty = bx, by
+		tx, ty := X, y
+		if f.Bootstrap {
+			rng := rand.New(rand.NewSource(int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x626f6f74))))
+			bx := make([][]float64, n)
+			by := make([]float64, n)
+			for i := 0; i < n; i++ {
+				j := rng.Intn(n)
+				bx[i] = X[j]
+				by[i] = y[j]
 			}
-			tree := NewDecisionTree(cfg)
-			errs[t] = tree.Fit(tx, ty)
-			trees[t] = tree
-		}(t)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
+			tx, ty = bx, by
 		}
+		tree := NewDecisionTree(cfg)
+		if err := tree.Fit(tx, ty); err != nil {
+			return err
+		}
+		trees[t] = tree
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	f.trees = trees
 	f.nFeatures = p
@@ -128,6 +114,14 @@ func (f *Forest) Predict(x []float64) float64 {
 		s += t.Predict(x)
 	}
 	return s / float64(len(f.trees))
+}
+
+// PredictBatch scores every row of X on the worker pool. Tree
+// traversal is read-only, and each row's tree contributions are summed
+// in tree order, so the output matches len(X) sequential Predict calls
+// exactly.
+func (f *Forest) PredictBatch(X [][]float64) []float64 {
+	return PredictBatchWorkers(f, X, f.Workers)
 }
 
 // NumTrees returns the number of fitted member trees.

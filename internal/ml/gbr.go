@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lam/internal/parallel"
 	"lam/internal/xmath"
 )
 
@@ -35,6 +36,12 @@ type GradientBoosting struct {
 	Subsample float64
 	// Seed drives subsampling and stage-tree randomness.
 	Seed int64
+	// Workers bounds the per-stage training-set scoring parallelism;
+	// values <= 0 mean the process default. Boosting stages themselves
+	// are inherently sequential (each fits the previous residual), but
+	// scoring every training sample with the freshly grown stage tree
+	// is an independent-iteration loop and dominates on wide datasets.
+	Workers int
 
 	init   float64
 	stages []*DecisionTree
@@ -108,9 +115,13 @@ func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
 			return fmt.Errorf("ml: boosting stage %d: %w", s, err)
 		}
 		g.stages = append(g.stages, tree)
-		for i := range current {
-			current[i] += rate * tree.Predict(X[i])
-		}
+		// Disjoint per-index writes: the update is bit-identical for
+		// every worker count.
+		parallel.ForBlocks(n, g.Workers, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				current[i] += rate * tree.Predict(X[i])
+			}
+		})
 	}
 	return nil
 }

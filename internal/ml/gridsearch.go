@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"lam/internal/parallel"
 )
 
 // ParamGrid names one hyperparameter axis and its candidate values.
@@ -24,13 +26,32 @@ type GridSearchResult struct {
 // parameter grids with k-fold cross-validation and returns every
 // combination's mean score plus the best one. newModel receives the
 // parameter assignment and must build the corresponding estimator;
-// score is the loss to minimise (e.g. MAPE).
+// score is the loss to minimise (e.g. MAPE). Candidates are evaluated
+// on the process default worker pool; see GridSearchWorkers.
 func GridSearch(
 	grids []ParamGrid,
 	newModel func(params map[string]float64) Regressor,
 	X [][]float64, y []float64,
 	k int, seed int64,
 	score func(yTrue, yPred []float64) float64,
+) (best GridSearchResult, all []GridSearchResult, err error) {
+	return GridSearchWorkers(grids, newModel, X, y, k, seed, score, 0)
+}
+
+// GridSearchWorkers is GridSearch with an explicit worker count (<= 0
+// means the process default, 1 forces sequential evaluation). The
+// candidate list is enumerated before fan-out and results are stored
+// in enumeration order — ties therefore resolve to the same candidate
+// as a sequential scan, making the result bit-identical for every
+// worker count. Cross-validation inside each candidate runs
+// sequentially to keep the pool busy with whole candidates.
+func GridSearchWorkers(
+	grids []ParamGrid,
+	newModel func(params map[string]float64) Regressor,
+	X [][]float64, y []float64,
+	k int, seed int64,
+	score func(yTrue, yPred []float64) float64,
+	workers int,
 ) (best GridSearchResult, all []GridSearchResult, err error) {
 	if len(grids) == 0 {
 		return best, nil, errors.New("ml: GridSearch needs at least one parameter grid")
@@ -44,30 +65,15 @@ func GridSearch(
 		return best, nil, err
 	}
 
+	// Enumerate the cartesian product with a mixed-radix counter.
+	var candidates []map[string]float64
 	idx := make([]int, len(grids))
-	best.Score = math.Inf(1)
 	for {
 		params := make(map[string]float64, len(grids))
 		for i, g := range grids {
 			params[g.Name] = g.Values[idx[i]]
 		}
-		scores, err := CrossValScore(func() Regressor { return newModel(params) },
-			X, y, k, seed, score)
-		if err != nil {
-			return best, nil, err
-		}
-		mean := 0.0
-		for _, s := range scores {
-			mean += s
-		}
-		mean /= float64(len(scores))
-		res := GridSearchResult{Params: params, Score: mean}
-		all = append(all, res)
-		if mean < best.Score {
-			best = res
-		}
-
-		// Advance the mixed-radix counter.
+		candidates = append(candidates, params)
 		carry := len(grids) - 1
 		for carry >= 0 {
 			idx[carry]++
@@ -78,7 +84,32 @@ func GridSearch(
 			carry--
 		}
 		if carry < 0 {
-			return best, all, nil
+			break
 		}
 	}
+
+	all, err = parallel.MapErr(len(candidates), workers, func(c int) (GridSearchResult, error) {
+		params := candidates[c]
+		scores, err := CrossValScoreWorkers(func() Regressor { return newModel(params) },
+			X, y, k, seed, score, 1)
+		if err != nil {
+			return GridSearchResult{}, err
+		}
+		mean := 0.0
+		for _, s := range scores {
+			mean += s
+		}
+		mean /= float64(len(scores))
+		return GridSearchResult{Params: params, Score: mean}, nil
+	})
+	if err != nil {
+		return best, nil, err
+	}
+	best.Score = math.Inf(1)
+	for _, res := range all {
+		if res.Score < best.Score {
+			best = res
+		}
+	}
+	return best, all, nil
 }

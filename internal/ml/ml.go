@@ -13,6 +13,8 @@ package ml
 import (
 	"errors"
 	"fmt"
+
+	"lam/internal/parallel"
 )
 
 // Regressor is the common estimator interface: fit on a design matrix
@@ -22,16 +24,30 @@ type Regressor interface {
 	Fit(X [][]float64, y []float64) error
 	// Predict returns the model's estimate for a single feature vector.
 	// Calling Predict before a successful Fit is a programming error and
-	// panics.
+	// panics. After a successful Fit, Predict must be safe for
+	// concurrent use — every estimator in this package reads only
+	// immutable fitted state, which is what lets batch prediction and
+	// the experiment sweeps fan out over a fitted model.
 	Predict(x []float64) float64
 }
 
-// PredictBatch applies r.Predict to every row of X.
+// PredictBatch applies r.Predict to every row of X on the process
+// default worker pool; see PredictBatchWorkers.
 func PredictBatch(r Regressor, X [][]float64) []float64 {
+	return PredictBatchWorkers(r, X, 0)
+}
+
+// PredictBatchWorkers applies r.Predict to every row of X using up to
+// workers goroutines (<= 0 means the process default, 1 forces the
+// plain sequential loop). Each result is written at its row index, so
+// the output is bit-identical for every worker count.
+func PredictBatchWorkers(r Regressor, X [][]float64, workers int) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = r.Predict(x)
-	}
+	parallel.ForBlocks(len(X), workers, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = r.Predict(X[i])
+		}
+	})
 	return out
 }
 

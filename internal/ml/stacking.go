@@ -3,6 +3,8 @@ package ml
 import (
 	"errors"
 	"math/rand"
+
+	"lam/internal/parallel"
 )
 
 // Stacking is Wolpert's stacked-generalization meta-estimator: the
@@ -30,6 +32,11 @@ type Stacking struct {
 	KFold int
 	// Seed drives fold shuffling.
 	Seed int64
+	// Workers bounds fitting parallelism across the independent
+	// (fold, base) training units; values <= 0 mean the process
+	// default. The factories in NewBases must be safe to call
+	// concurrently. Results are bit-identical for every worker count.
+	Workers int
 
 	bases []Regressor
 	meta  Regressor
@@ -57,7 +64,13 @@ func (s *Stacking) Fit(X [][]float64, y []float64) error {
 
 	if s.KFold > 1 && s.KFold <= n {
 		folds := KFoldIndices(n, s.KFold, rand.New(rand.NewSource(s.Seed)))
-		for _, fold := range folds {
+		// Materialise every fold's training set up front, then fan the
+		// independent (fold, base) units out on the worker pool. The
+		// folds partition the samples, so each unit writes a disjoint
+		// set of metaFeat cells.
+		trainXs := make([][][]float64, len(folds))
+		trainYs := make([][]float64, len(folds))
+		for f, fold := range folds {
 			inFold := make(map[int]bool, len(fold))
 			for _, i := range fold {
 				inFold[i] = true
@@ -70,38 +83,51 @@ func (s *Stacking) Fit(X [][]float64, y []float64) error {
 					trainY = append(trainY, y[i])
 				}
 			}
-			for b, newBase := range s.NewBases {
-				m := newBase()
-				if err := m.Fit(trainX, trainY); err != nil {
-					return err
-				}
-				for _, i := range fold {
-					metaFeat[i][b] = m.Predict(X[i])
-				}
+			trainXs[f], trainYs[f] = trainX, trainY
+		}
+		units := len(folds) * nb
+		if err := parallel.ForErr(units, s.Workers, func(u int) error {
+			f, b := u/nb, u%nb
+			m := s.NewBases[b]()
+			if err := m.Fit(trainXs[f], trainYs[f]); err != nil {
+				return err
 			}
+			for _, i := range folds[f] {
+				metaFeat[i][b] = m.Predict(X[i])
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	} else {
-		for b, newBase := range s.NewBases {
-			m := newBase()
+		if err := parallel.ForErr(nb, s.Workers, func(b int) error {
+			m := s.NewBases[b]()
 			if err := m.Fit(X, y); err != nil {
 				return err
 			}
 			for i := 0; i < n; i++ {
 				metaFeat[i][b] = m.Predict(X[i])
 			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 
 	// Final base models are always refit on the full training set; they
 	// produce the meta features at prediction time.
-	s.bases = s.bases[:0]
-	for _, newBase := range s.NewBases {
-		m := newBase()
+	bases := make([]Regressor, nb)
+	if err := parallel.ForErr(nb, s.Workers, func(b int) error {
+		m := s.NewBases[b]()
 		if err := m.Fit(X, y); err != nil {
 			return err
 		}
-		s.bases = append(s.bases, m)
+		bases[b] = m
+		return nil
+	}); err != nil {
+		return err
 	}
+	s.bases = bases
 
 	metaX := make([][]float64, n)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,209 @@
+// Package parallel is the shared worker-pool substrate behind every
+// embarrassingly parallel loop in the repository: per-tree ensemble
+// fitting, batch prediction, cross-validation folds, grid-search
+// candidates and the experiment sweeps.
+//
+// The contract every caller relies on is that For(n, workers, fn)
+// calls fn(i) exactly once for every i in [0, n) and that callers
+// write results by index, so the observable output is independent of
+// the worker count and of goroutine scheduling. Randomised callers
+// must derive each unit's seed from (master seed, unit index) before
+// fanning out — never share an RNG across units — which keeps parallel
+// runs bit-identical to sequential ones.
+//
+// A non-positive workers argument means "use the process default"
+// (SetDefaultWorkers, falling back to GOMAXPROCS), and an effective
+// worker count of one runs the loop inline on the calling goroutine,
+// so degenerate inputs (empty or single-element ranges, Workers <= 0)
+// degrade to plain sequential execution instead of deadlocking.
+//
+// Default-inherited loops additionally share one process-wide helper
+// budget, so nested fan-out (a sweep over trials, each fitting a
+// forest, each fitting trees) keeps total concurrency near the
+// default instead of multiplying the levels together.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide default worker count; values <= 0
+// mean GOMAXPROCS.
+var defaultWorkers atomic.Int64
+
+// The helper budget bounds total pool concurrency across *nested*
+// calls: a loop whose caller inherited the process default (workers
+// <= 0) may only spawn helper goroutines while the process-wide
+// budget of DefaultWorkers()-1 has headroom (the calling goroutine is
+// the +1). Acquisition never blocks — a nested loop that finds the
+// budget exhausted simply runs inline on its caller — so the scheme
+// cannot deadlock, and concurrency stays additive rather than
+// multiplicative when sweeps, cross-validation and ensemble fits
+// nest. Loops with an explicit positive workers count bypass the
+// budget: the caller asked for that parallelism by name.
+var helperMu sync.Mutex
+var helpersInUse int
+
+func acquireHelpers(want int) int {
+	limit := DefaultWorkers() - 1
+	helperMu.Lock()
+	defer helperMu.Unlock()
+	free := limit - helpersInUse
+	if want > free {
+		want = free
+	}
+	if want < 0 {
+		want = 0
+	}
+	helpersInUse += want
+	return want
+}
+
+func releaseHelpers(n int) {
+	helperMu.Lock()
+	helpersInUse -= n
+	helperMu.Unlock()
+}
+
+// SetDefaultWorkers sets the process-wide default used when a caller
+// passes workers <= 0. Passing n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) { defaultWorkers.Store(int64(n)) }
+
+// DefaultWorkers returns the process-wide default worker count.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a caller-supplied Workers knob to an effective worker
+// count for n independent units: non-positive workers means the
+// process default, and the result is clamped to [1, n] so a degenerate
+// workload runs sequentially.
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For calls fn(i) exactly once for every i in [0, n), using the
+// calling goroutine plus up to workers-1 helper goroutines. Indices
+// are handed out through a shared atomic counter (a work-stealing-free
+// pool), so uneven unit costs balance automatically. With one
+// effective worker — including when a default-inherited nested call
+// finds the process-wide helper budget exhausted — the loop runs
+// inline.
+func For(n, workers int, fn func(i int)) {
+	resolved := Resolve(workers, n)
+	helpers := resolved - 1
+	budgeted := workers <= 0 && helpers > 0
+	if budgeted {
+		helpers = acquireHelpers(helpers)
+		defer releaseHelpers(helpers)
+	}
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for w := 0; w < helpers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// ForErr runs fn over [0, n) like For and returns the error of the
+// lowest failing index — the same error a sequential loop that stops
+// at the first failure would report, which keeps error output
+// independent of scheduling.
+func ForErr(n, workers int, fn func(i int) error) error {
+	if Resolve(workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForBlocks processes [0, n) as contiguous blocks of at least minBlock
+// elements, calling fn(lo, hi) for each block. Use it when the
+// per-element work is too cheap to pay a pool dispatch per index
+// (e.g. scoring one sample with a shallow tree).
+func ForBlocks(n, workers, minBlock int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minBlock < 1 {
+		minBlock = 1
+	}
+	blocks := (n + minBlock - 1) / minBlock
+	if Resolve(workers, blocks) == 1 {
+		fn(0, n)
+		return
+	}
+	For(blocks, workers, func(b int) {
+		lo := b * minBlock
+		hi := lo + minBlock
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Map runs fn over [0, n) and collects the results by index.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr runs fn over [0, n), collecting results by index; on failure
+// it returns the error of the lowest failing index alongside the
+// partial results.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForErr(n, workers, func(i int) error {
+		v, e := fn(i)
+		out[i] = v
+		return e
+	})
+	return out, err
+}

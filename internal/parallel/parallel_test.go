@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 3, 100} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestResolveClamps(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 10, DefaultWorkers()},
+		{-3, 10, DefaultWorkers()},
+		{4, 2, 2},
+		{4, 0, 1},
+		{1, 100, 1},
+		{8, 8, 8},
+	}
+	for _, c := range cases {
+		if c.want > c.n && c.n >= 1 {
+			c.want = c.n
+		}
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers() = %d after SetDefaultWorkers(3)", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS default", got)
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForErr(10, workers, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3 failed" {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+	if err := ForErr(5, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForBlocksCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, n := range []int{0, 1, 5, 64, 100} {
+			hits := make([]int32, n)
+			ForBlocks(n, workers, 8, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad block [%d, %d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	got := Map(5, 4, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	sentinel := errors.New("boom")
+	got, err := MapErr(4, 2, func(i int) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got err %v, want sentinel", err)
+	}
+	if got[1] != 2 {
+		t.Fatalf("partial results not preserved: %v", got)
+	}
+}
+
+// TestDeterministicUnderContention checks the package's core promise:
+// index-addressed writes make output independent of worker count.
+func TestDeterministicUnderContention(t *testing.T) {
+	ref := Map(1000, 1, func(i int) float64 { return float64(i) * 1.5 })
+	for _, workers := range []int{2, 5, 16} {
+		got := Map(1000, workers, func(i int) float64 { return float64(i) * 1.5 })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] differs", workers, i)
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"lam/internal/hybrid"
 	"lam/internal/machine"
 	"lam/internal/ml"
+	"lam/internal/parallel"
 )
 
 // Dataset is the tabular sample container: named features + response
@@ -65,6 +66,18 @@ type FigureOptions = experiments.Options
 func NewDataset(featureNames ...string) *Dataset {
 	return dataset.New(featureNames...)
 }
+
+// SetWorkers sets the process-wide default worker count used by every
+// parallel hot path — ensemble fitting, batch prediction,
+// cross-validation, grid search and the figure sweeps — wherever a
+// per-call Workers knob is zero. Passing n <= 0 restores the
+// GOMAXPROCS default. All results are bit-identical for every worker
+// count: each parallel unit derives its randomness from (seed, unit
+// index) before fan-out and writes its output by index.
+func SetWorkers(n int) { parallel.SetDefaultWorkers(n) }
+
+// Workers reports the current process-wide default worker count.
+func Workers() int { return parallel.DefaultWorkers() }
 
 // Machines lists the built-in machine presets by name. "bluewaters" is
 // the paper's platform.
@@ -145,6 +158,13 @@ func Figure(id string, opts FigureOptions) (*Report, error) {
 
 // FigureIDs lists the reproducible figures in paper order.
 func FigureIDs() []string { return experiments.AllFigureIDs() }
+
+// Figures regenerates several figures concurrently on the worker pool
+// and returns the reports in input order; the output matches len(ids)
+// sequential Figure calls exactly.
+func Figures(ids []string, opts FigureOptions) ([]*Report, error) {
+	return experiments.RunMany(ids, opts)
+}
 
 // AnalyticalMAPE scores an analytical model alone against a dataset.
 func AnalyticalMAPE(ds *Dataset, am AnalyticalModel) (float64, error) {

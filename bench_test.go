@@ -1,7 +1,8 @@
 // Benchmark harness: one benchmark per figure of the paper's
 // evaluation, each reporting the regenerated MAPE values as custom
 // metrics (mape_<series>_<fraction>), plus the ablation benches
-// DESIGN.md §5 calls out and micro-benchmarks of the substrates.
+// EXPERIMENTS.md §Ablations catalogues and micro-benchmarks of the
+// substrates.
 //
 // Run everything with:
 //
@@ -13,6 +14,7 @@
 package lam
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -78,7 +80,7 @@ func BenchmarkFig7ThreadsHybrid(b *testing.B) { benchFigure(b, "fig7") }
 // BenchmarkFig8FMMHybrid regenerates Fig. 8: the FMM hybrid model.
 func BenchmarkFig8FMMHybrid(b *testing.B) { benchFigure(b, "fig8") }
 
-// --- Ablations (DESIGN.md §5) ---
+// --- Ablations (EXPERIMENTS.md §Ablations) ---
 
 // ablationSetup builds the Fig. 6 workload split used by several
 // ablations: blocking dataset, 2% training.
@@ -441,6 +443,50 @@ func BenchmarkCrossValSequential(b *testing.B) { benchCrossVal(b, 1) }
 
 // BenchmarkCrossValParallel evaluates the folds on the worker pool.
 func BenchmarkCrossValParallel(b *testing.B) { benchCrossVal(b, 0) }
+
+// --- v2 Predictor interface overhead ---
+//
+// The pair below documents that routing batch prediction through the
+// context-first Predictor interface (the path lam-serve and the
+// registry use) adds no measurable overhead over calling
+// ml.PredictBatch directly: both funnel into the same block loop, and
+// the extra work is one fitted/arity check per row plus a context poll
+// per block.
+
+// benchPredictorSetup fits a 100-tree extra-trees pipeline on 400 rows
+// and returns it with its training matrix.
+func benchPredictorSetup(b *testing.B) (*ml.Pipeline, [][]float64) {
+	b.Helper()
+	ds := benchTrainingSet(b, 400)
+	p := &ml.Pipeline{Model: ml.NewExtraTrees(100, 7)}
+	if err := p.Fit(ds.X, ds.Y); err != nil {
+		b.Fatal(err)
+	}
+	return p, ds.X
+}
+
+// BenchmarkPredictBatchDirect scores 400 rows via the v1 free function.
+func BenchmarkPredictBatchDirect(b *testing.B) {
+	p, X := benchPredictorSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ml.PredictBatch(p, X)
+	}
+}
+
+// BenchmarkPredictBatchPredictor scores the same rows through the v2
+// Predictor interface.
+func BenchmarkPredictBatchPredictor(b *testing.B) {
+	p, X := benchPredictorSetup(b)
+	pred := MLPredictor(p)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictBatch(ctx, X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchTrainingSet draws n rows from the blocking dataset.
 func benchTrainingSet(b *testing.B, n int) *dataset.Dataset {

@@ -11,12 +11,20 @@
 // -workers bounds the worker pool used for ensemble fitting and the
 // per-figure sweeps (0 = GOMAXPROCS, 1 = fully sequential); results
 // are bit-identical for every value.
+//
+// SIGINT/SIGTERM cancel the sweep context: the run stops promptly at
+// the next trial boundary instead of dying mid-write, and exits with
+// status 130. See EXPERIMENTS.md for the figure catalogue.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"lam"
 )
@@ -30,6 +38,11 @@ func main() {
 	trees := flag.Int("trees", 100, "ensemble size for tree models")
 	workers := flag.Int("workers", 0, "worker pool size for parallel fitting and sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+
+	// ^C / SIGTERM cancel the context; the sweeps notice at the next
+	// trial boundary. A second signal kills the process the hard way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	lam.SetWorkers(*workers)
 	m, err := lam.MachineByName(*machineName)
@@ -49,18 +62,18 @@ func main() {
 	// one), then render in input order.
 	reports := make([]*lam.Report, len(ids))
 	if len(ids) > 1 {
-		if reports, err = lam.Figures(ids, opts); err != nil {
+		if reports, err = lam.FiguresCtx(ctx, ids, opts); err != nil {
 			fatal(err)
 		}
 	} else {
 		var r *lam.Report
 		switch ids[0] {
 		case "ext-noise":
-			r, err = lam.NoiseSensitivity(opts, nil)
+			r, err = lam.NoiseSensitivityCtx(ctx, opts, nil)
 		case "ext-transfer":
-			r, err = lam.HardwareTransfer(opts, nil, nil)
+			r, err = lam.HardwareTransferCtx(ctx, opts, nil, nil)
 		default:
-			r, err = lam.Figure(ids[0], opts)
+			r, err = lam.FigureCtx(ctx, ids[0], opts)
 		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", ids[0], err))
@@ -91,6 +104,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, lam.ErrCancelled) {
+		fmt.Fprintln(os.Stderr, "lam-bench: interrupted, no figures written:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "lam-bench:", err)
 	os.Exit(1)
 }

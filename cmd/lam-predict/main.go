@@ -7,20 +7,33 @@
 //
 //	lam-predict -data fmm.csv -model hybrid -workload fmm -train 0.02
 //	lam-predict -data grid.csv -model et -train 0.10
+//	lam-predict -data grid.csv -model hybrid -workload stencil-grid \
+//	            -registry ./models -name grid-hybrid
 //
 // Models: et (extra trees), rf (random forest), dt (decision tree),
 // hybrid (requires -workload to select the analytical model).
 //
+// With -registry and -name, the trained model is published as a new
+// version in the model registry — metadata (workload, machine, train
+// size, held-out MAPE) included — ready for lam-serve.
+//
 // -workers bounds the worker pool used for ensemble fitting and batch
 // prediction (0 = GOMAXPROCS, 1 = fully sequential); predictions are
 // bit-identical for every value.
+//
+// SIGINT/SIGTERM cancel the training context: long fits stop promptly
+// and the process exits 130 without writing a partial registry version.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"lam"
 	"lam/internal/dataset"
@@ -38,11 +51,31 @@ func main() {
 	trees := flag.Int("trees", 100, "ensemble size")
 	show := flag.Int("show", 5, "example predictions to print")
 	workers := flag.Int("workers", 0, "worker pool size for training and batch prediction (0 = GOMAXPROCS, 1 = sequential)")
+	regDir := flag.String("registry", "", "publish the trained model into this registry directory (needs -name)")
+	name := flag.String("name", "", "registry model name")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	lam.SetWorkers(*workers)
 	if *dataPath == "" {
 		fatal(fmt.Errorf("-data is required"))
+	}
+	if (*regDir == "") != (*name == "") {
+		fatal(fmt.Errorf("-registry and -name must be used together"))
+	}
+	// Fail publish preconditions before the (potentially long) training
+	// run, not after it.
+	var modelRegistry *lam.Registry
+	if *regDir != "" {
+		if !lam.ValidModelName(*name) {
+			fatal(fmt.Errorf("invalid registry model name %q (want lowercase [a-z0-9._-])", *name))
+		}
+		var err error
+		if modelRegistry, err = lam.OpenRegistry(*regDir); err != nil {
+			fatal(err)
+		}
 	}
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -62,7 +95,10 @@ func main() {
 	fmt.Printf("dataset: %d rows (%d features); training on %d, testing on %d\n",
 		ds.Len(), ds.NumFeatures(), train.Len(), test.Len())
 
-	var predict func(x []float64) (float64, error)
+	// Train through the v2 Predictor interface: the same path the
+	// registry and lam-serve use, cancellable via ^C.
+	var predictor lam.Predictor
+	var publish func(reg *lam.Registry, meta lam.ModelMeta) (lam.ModelMeta, error)
 	switch *model {
 	case "hybrid":
 		if *workload == "" {
@@ -76,16 +112,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		amMAPE, err := lam.AnalyticalMAPE(test, am)
+		amMAPE, err := lam.AnalyticalMAPECtx(ctx, test, am)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("analytical model alone: MAPE %.2f%%\n", amMAPE)
-		hy, err := lam.TrainHybrid(train, am, hybrid.Config{Seed: *seed, Workers: *workers})
+		hy, err := lam.TrainHybridCtx(ctx, train, am, hybrid.Config{Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
-		predict = hy.Predict
+		predictor = lam.HybridPredictor(hy)
+		publish = func(reg *lam.Registry, meta lam.ModelMeta) (lam.ModelMeta, error) {
+			return reg.SaveHybrid(hy, meta)
+		}
 	case "et", "rf", "dt":
 		var reg ml.Regressor
 		switch *model {
@@ -96,23 +135,23 @@ func main() {
 		default:
 			reg = lam.NewDecisionTree(*seed)
 		}
-		if err := reg.Fit(train.X, train.Y); err != nil {
+		if err := ml.FitCtx(ctx, reg, train.X, train.Y); err != nil {
 			fatal(err)
 		}
-		predict = func(x []float64) (float64, error) { return reg.Predict(x), nil }
+		predictor = lam.MLPredictor(reg)
+		publish = func(r *lam.Registry, meta lam.ModelMeta) (lam.ModelMeta, error) {
+			return r.SaveRegressor(reg, meta)
+		}
 	default:
 		fatal(fmt.Errorf("unknown model %q", *model))
 	}
 
-	pred := make([]float64, test.Len())
-	for i, x := range test.X {
-		p, err := predict(x)
-		if err != nil {
-			fatal(err)
-		}
-		pred[i] = p
+	pred, err := predictor.PredictBatch(ctx, test.X)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("%s model: held-out MAPE %.2f%%\n", *model, lam.MAPE(test.Y, pred))
+	testMAPE := lam.MAPE(test.Y, pred)
+	fmt.Printf("%s model: held-out MAPE %.2f%%\n", *model, testMAPE)
 
 	n := *show
 	if n > test.Len() {
@@ -121,9 +160,28 @@ func main() {
 	for i := 0; i < n; i++ {
 		fmt.Printf("  x=%v  true=%.6gs  predicted=%.6gs\n", test.X[i], test.Y[i], pred[i])
 	}
+
+	if modelRegistry != nil {
+		meta, err := publish(modelRegistry, lam.ModelMeta{
+			Name:      *name,
+			Workload:  *workload,
+			Machine:   *machineName,
+			TrainSize: train.Len(),
+			TestMAPE:  testMAPE,
+			Notes:     fmt.Sprintf("lam-predict -data %s -model %s -train %g -seed %d", *dataPath, *model, *trainFrac, *seed),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("published %s v%d to %s\n", meta.Name, meta.Version, *regDir)
+	}
 }
 
 func fatal(err error) {
+	if errors.Is(err, lam.ErrCancelled) {
+		fmt.Fprintln(os.Stderr, "lam-predict: interrupted:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "lam-predict:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,110 @@
+// Command lam-serve is the HTTP prediction service: it loads trained
+// models from a registry directory (as written by lam-predict
+// -registry or lam.Registry) and answers JSON prediction requests
+// bit-identical to the equivalent library calls.
+//
+// Usage:
+//
+//	lam-serve -registry ./models [-addr :8080] [-workers N]
+//
+// Endpoints:
+//
+//	GET  /healthz  — liveness + stored-model count
+//	GET  /models   — every stored model version's metadata
+//	POST /predict  — {"model":"name","x":[…]} or
+//	                 {"model":"name","version":2,"batch":[[…],[…]]}
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests get a
+// drain window, new connections are refused. See the README's
+// "Serving predictions" section for a curl quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lam"
+	"lam/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	regDir := flag.String("registry", "", "model registry directory (required; see lam-predict -registry)")
+	workers := flag.Int("workers", 0, "worker pool size for batch prediction (0 = GOMAXPROCS, 1 = sequential)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	lam.SetWorkers(*workers)
+	if *regDir == "" {
+		fatal(fmt.Errorf("-registry is required"))
+	}
+	reg, err := lam.OpenRegistry(*regDir)
+	if err != nil {
+		fatal(err)
+	}
+	metas, err := reg.List()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lam-serve: registry %s holds %d model version(s)\n", *regDir, len(metas))
+	for _, m := range metas {
+		fmt.Fprintf(os.Stderr, "lam-serve:   %s v%d (%s", m.Name, m.Version, m.Kind)
+		if m.Workload != "" {
+			fmt.Fprintf(os.Stderr, ", %s on %s", m.Workload, m.Machine)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
+
+	s := serve.New(reg)
+	s.Workers = *workers
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.Handler(),
+		// Per-request contexts are cancelled when the client
+		// disconnects, which cancels in-flight batch predictions
+		// between rows. The timeouts close the slow-client
+		// (slowloris) connection-exhaustion hole; large batches are
+		// bounded by the serve layer's request-size cap rather than a
+		// write timeout, so slow *predictions* still complete.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "lam-serve: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		fmt.Fprintf(os.Stderr, "lam-serve: shutting down (drain %s)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lam-serve:", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@ import (
 
 	"lam/internal/analytical"
 	"lam/internal/hybrid"
+	"lam/internal/lamerr"
 	"lam/internal/machine"
 )
 
@@ -102,6 +103,6 @@ func AMByDataset(name string, m *machine.Machine) (hybrid.AnalyticalModel, error
 	case "fmm":
 		return FMMAM(m), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		return nil, fmt.Errorf("experiments: %w: dataset %q", lamerr.ErrUnknownWorkload, name)
 	}
 }

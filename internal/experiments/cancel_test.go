@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lam/internal/lamerr"
+)
+
+// cancelOpts keeps each trial small so the promptness bound is tight
+// without making the sweep trivial.
+func cancelOpts() Options {
+	return Options{Seed: 42, Reps: 4, Trees: 30}
+}
+
+// assertCancelled checks the double sentinel contract: errors wrap both
+// the repository-wide lamerr.ErrCancelled class and the concrete
+// context cause.
+func assertCancelled(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a cancellation error, got nil")
+	}
+	if !errors.Is(err, lamerr.ErrCancelled) {
+		t.Fatalf("error %v does not wrap lamerr.ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestRunCtxMidSweepCancel cancels one figure shortly after it starts
+// and checks the sweep stops promptly (bounded wall clock, far below
+// the full figure's runtime) with the typed error.
+func TestRunCtxMidSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunCtx(ctx, "fig6", cancelOpts())
+	elapsed := time.Since(start)
+	assertCancelled(t, err)
+	// One trial (2-4% training fit of a <=40-tree ensemble) is well
+	// under a second even under -race; 15s is a generous ceiling that
+	// still proves the sweep did not run to completion on a loaded CI
+	// machine.
+	if elapsed > 15*time.Second {
+		t.Fatalf("cancelled figure sweep took %v", elapsed)
+	}
+}
+
+// TestRunManyCtxCancelStopsBatch cancels a multi-figure batch and
+// checks the typed error propagates through the batch path.
+func TestRunManyCtxCancelStopsBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunManyCtx(ctx, []string{"fig5", "fig6", "fig7"}, cancelOpts())
+	elapsed := time.Since(start)
+	assertCancelled(t, err)
+	if elapsed > 15*time.Second {
+		t.Fatalf("cancelled batch took %v", elapsed)
+	}
+}
+
+// TestRunCtxPreCancelled returns immediately when the context is
+// already done.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunCtx(ctx, "fig5", cancelOpts())
+	assertCancelled(t, err)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pre-cancelled figure took %v", elapsed)
+	}
+}
+
+// TestRunCtxUnknownFigure checks the typed unknown-figure error.
+func TestRunCtxUnknownFigure(t *testing.T) {
+	_, err := RunCtx(context.Background(), "fig99", cancelOpts())
+	if !errors.Is(err, lamerr.ErrUnknownFigure) {
+		t.Fatalf("got %v, want ErrUnknownFigure", err)
+	}
+}
+
+// TestNoiseSensitivityCtxCancel covers the extension-experiment path.
+func TestNoiseSensitivityCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := NoiseSensitivityCtx(ctx, cancelOpts(), []float64{0.01, 0.05, 0.1})
+	assertCancelled(t, err)
+}
+
+// TestRunCtxUncancelledMatchesRun checks the ctx plumbing did not
+// change the deterministic output of an untouched run.
+func TestRunCtxUncancelledMatchesRun(t *testing.T) {
+	opts := Options{Seed: 7, Reps: 2, Trees: 10}
+	a, err := RunCtx(context.Background(), "fig5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series count %d != %d", len(a.Series), len(b.Series))
+	}
+	for si := range a.Series {
+		for i := range a.Series[si].MeanMAPE {
+			if a.Series[si].MeanMAPE[i] != b.Series[si].MeanMAPE[i] {
+				t.Fatalf("series %d point %d: %v != %v",
+					si, i, a.Series[si].MeanMAPE[i], b.Series[si].MeanMAPE[i])
+			}
+		}
+	}
+}

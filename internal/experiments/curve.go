@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -101,12 +102,20 @@ func MAPECurve(ds *dataset.Dataset, newModel func(seed int64) Trainable, fractio
 // and writes its score by trial index, so the series is bit-identical
 // for every worker count.
 func MAPECurveWorkers(ds *dataset.Dataset, newModel func(seed int64) Trainable, fractions []float64, reps int, seed int64, label string, workers int) (Series, error) {
+	return MAPECurveCtx(context.Background(), ds, newModel, fractions, reps, seed, label, workers)
+}
+
+// MAPECurveCtx is MAPECurveWorkers with prompt cancellation between
+// (fraction, repetition) trials: once ctx is done no further trial
+// starts and the sweep returns a typed cancellation error (wrapping
+// lamerr.ErrCancelled and ctx.Err()) within one trial's duration.
+func MAPECurveCtx(ctx context.Context, ds *dataset.Dataset, newModel func(seed int64) Trainable, fractions []float64, reps int, seed int64, label string, workers int) (Series, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	s := Series{Label: label, Fractions: fractions, Reps: reps}
 	scores := make([]float64, len(fractions)*reps)
-	err := parallel.ForErr(len(scores), workers, func(u int) error {
+	err := parallel.ForCtx(ctx, len(scores), workers, func(u int) error {
 		fi, r := u/reps, u%reps
 		frac := fractions[fi]
 		drawSeed := int64(xmath.Hash64(uint64(seed), uint64(fi), uint64(r)))

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"lam/internal/dataset"
+	"lam/internal/lamerr"
 	"lam/internal/machine"
 	"lam/internal/perfsim"
 )
@@ -182,6 +183,6 @@ func DatasetByName(name string, m *machine.Machine, seed uint64) (*dataset.Datas
 	case "fmm":
 		return FMMDataset(NewFMMSim(m, seed))
 	default:
-		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		return nil, fmt.Errorf("experiments: %w: dataset %q", lamerr.ErrUnknownWorkload, name)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -22,6 +23,12 @@ import (
 // per model across noise levels (the Fractions field carries the noise
 // level instead of a training fraction).
 func NoiseSensitivity(opts Options, noiseLevels []float64) (*Report, error) {
+	return NoiseSensitivityCtx(context.Background(), opts, noiseLevels)
+}
+
+// NoiseSensitivityCtx is NoiseSensitivity with prompt cancellation
+// between noise levels and between the trials inside each level.
+func NoiseSensitivityCtx(ctx context.Context, opts Options, noiseLevels []float64) (*Report, error) {
 	o := opts.normalized()
 	if len(noiseLevels) == 0 {
 		noiseLevels = []float64{0.01, 0.035, 0.08, 0.15}
@@ -41,7 +48,7 @@ func NoiseSensitivity(opts Options, noiseLevels []float64) (*Report, error) {
 		amMAPE   float64
 		size     int
 	}
-	results, err := parallel.MapErr(len(noiseLevels), o.Workers, func(li int) (levelResult, error) {
+	results, err := parallel.MapCtx(ctx, len(noiseLevels), o.Workers, func(li int) (levelResult, error) {
 		nl := noiseLevels[li]
 		sim := &perfsim.StencilSim{Machine: o.Machine, Seed: uint64(o.Seed), NoiseLevel: nl}
 		ds, err := StencilBlockingDataset(sim)
@@ -50,17 +57,17 @@ func NoiseSensitivity(opts Options, noiseLevels []float64) (*Report, error) {
 		}
 		amModel := StencilBlockingAM(o.Machine)
 
-		etc, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
+		etc, err := MAPECurveCtx(ctx, ds, MLTrainable(DefaultPipeline("et", o.Trees)),
 			[]float64{0.02}, o.Reps, o.Seed, "et", o.Workers)
 		if err != nil {
 			return levelResult{}, err
 		}
-		hyc, err := MAPECurveWorkers(ds, HybridTrainable(amModel, hybrid.Config{Workers: o.Workers}),
+		hyc, err := MAPECurveCtx(ctx, ds, HybridTrainable(amModel, hybrid.Config{Workers: o.Workers}),
 			[]float64{0.02}, o.Reps, o.Seed, "hy", o.Workers)
 		if err != nil {
 			return levelResult{}, err
 		}
-		amMAPE, err := hybrid.AnalyticalMAPE(ds, amModel)
+		amMAPE, err := hybrid.AnalyticalMAPECtx(ctx, ds, amModel)
 		if err != nil {
 			return levelResult{}, err
 		}
@@ -95,6 +102,12 @@ func NoiseSensitivity(opts Options, noiseLevels []float64) (*Report, error) {
 // It reports hybrid vs pure ML on the target machine's blocking
 // dataset across budgets.
 func HardwareTransfer(opts Options, target *machine.Machine, budgets []float64) (*Report, error) {
+	return HardwareTransferCtx(context.Background(), opts, target, budgets)
+}
+
+// HardwareTransferCtx is HardwareTransfer with prompt cancellation
+// between trials.
+func HardwareTransferCtx(ctx context.Context, opts Options, target *machine.Machine, budgets []float64) (*Report, error) {
 	o := opts.normalized()
 	if target == nil {
 		target = machine.GenericXeon()
@@ -112,17 +125,17 @@ func HardwareTransfer(opts Options, target *machine.Machine, budgets []float64) 
 		Title:       fmt.Sprintf("hardware change %s -> %s: accuracy per re-measurement budget", o.Machine.Name, target.Name),
 		DatasetSize: ds.Len(),
 	}
-	amMAPE, err := hybrid.AnalyticalMAPE(ds, am)
+	amMAPE, err := hybrid.AnalyticalMAPECtx(ctx, ds, am)
 	if err != nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("target-machine analytical model (from spec sheet, no data): MAPE = %.1f%%", amMAPE))
 
-	et, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline("et", o.Trees)), budgets, o.Reps, o.Seed, "Extra Trees (pure ML)", o.Workers)
+	et, err := MAPECurveCtx(ctx, ds, MLTrainable(DefaultPipeline("et", o.Trees)), budgets, o.Reps, o.Seed, "Extra Trees (pure ML)", o.Workers)
 	if err != nil {
 		return nil, err
 	}
-	hy, err := MAPECurveWorkers(ds, HybridTrainable(am, hybrid.Config{Workers: o.Workers}), budgets, o.Reps, o.Seed, "Hybrid Model", o.Workers)
+	hy, err := MAPECurveCtx(ctx, ds, HybridTrainable(am, hybrid.Config{Workers: o.Workers}), budgets, o.Reps, o.Seed, "Hybrid Model", o.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"lam/internal/dataset"
 	"lam/internal/hybrid"
+	"lam/internal/lamerr"
 	"lam/internal/machine"
 	"lam/internal/parallel"
 )
@@ -77,6 +79,10 @@ func (r *Report) Render(w io.Writer) error {
 // trees and random forests on the stencil blocking dataset at training
 // fractions {1, 2, 4, 6, 10}%.
 func Fig3Stencil(opts Options) (*Report, error) {
+	return fig3Stencil(context.Background(), opts)
+}
+
+func fig3Stencil(ctx context.Context, opts Options) (*Report, error) {
 	o := opts.normalized()
 	ds, err := StencilBlockingDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
 	if err != nil {
@@ -91,7 +97,7 @@ func Fig3Stencil(opts Options) (*Report, error) {
 	for _, kind := range []struct{ key, label string }{
 		{"dt", "Decision Trees"}, {"et", "Extra Trees"}, {"rf", "Random Forests"},
 	} {
-		s, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
+		s, err := MAPECurveCtx(ctx, ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
 			fractions, o.Reps, o.Seed, kind.label, o.Workers)
 		if err != nil {
 			return nil, err
@@ -104,6 +110,10 @@ func Fig3Stencil(opts Options) (*Report, error) {
 // Fig3FMM regenerates Fig. 3(B): the same three models on the FMM
 // dataset at training fractions {10, 20, 40, 60, 80}%.
 func Fig3FMM(opts Options) (*Report, error) {
+	return fig3FMM(context.Background(), opts)
+}
+
+func fig3FMM(ctx context.Context, opts Options) (*Report, error) {
 	o := opts.normalized()
 	ds, err := FMMDataset(NewFMMSim(o.Machine, uint64(o.Seed)))
 	if err != nil {
@@ -118,7 +128,7 @@ func Fig3FMM(opts Options) (*Report, error) {
 	for _, kind := range []struct{ key, label string }{
 		{"dt", "Decision Trees"}, {"et", "Extra Trees"}, {"rf", "Random Forests"},
 	} {
-		s, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
+		s, err := MAPECurveCtx(ctx, ds, MLTrainable(DefaultPipeline(kind.key, o.Trees)),
 			fractions, o.Reps, o.Seed, kind.label, o.Workers)
 		if err != nil {
 			return nil, err
@@ -131,18 +141,18 @@ func Fig3FMM(opts Options) (*Report, error) {
 // hybridVsET builds the standard two-panel comparison the paper uses in
 // Figs. 5–8: extra trees at the larger fractions, the hybrid model at
 // the smaller ones, plus the standalone AM MAPE as a note.
-func hybridVsET(id, title string, ds *dataset.Dataset, am hybrid.AnalyticalModel,
+func hybridVsET(ctx context.Context, id, title string, ds *dataset.Dataset, am hybrid.AnalyticalModel,
 	etFractions, hyFractions []float64, cfg hybrid.Config, o Options) (*Report, error) {
 	r := &Report{ID: id, Title: title, DatasetSize: ds.Len()}
 
-	amMAPE, err := hybrid.AnalyticalMAPE(ds, am)
+	amMAPE, err := hybrid.AnalyticalMAPECtx(ctx, ds, am)
 	if err != nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("standalone analytical model MAPE = %.1f%% (untuned)", amMAPE))
 
-	et, err := MAPECurveWorkers(ds, MLTrainable(DefaultPipeline("et", o.Trees)),
+	et, err := MAPECurveCtx(ctx, ds, MLTrainable(DefaultPipeline("et", o.Trees)),
 		etFractions, o.Reps, o.Seed, "Extra Trees (pure ML)", o.Workers)
 	if err != nil {
 		return nil, err
@@ -150,7 +160,7 @@ func hybridVsET(id, title string, ds *dataset.Dataset, am hybrid.AnalyticalModel
 	r.Series = append(r.Series, et)
 
 	cfg.Workers = o.Workers
-	hy, err := MAPECurveWorkers(ds, HybridTrainable(am, cfg),
+	hy, err := MAPECurveCtx(ctx, ds, HybridTrainable(am, cfg),
 		hyFractions, o.Reps, o.Seed, "Hybrid Model", o.Workers)
 	if err != nil {
 		return nil, err
@@ -163,12 +173,16 @@ func hybridVsET(id, title string, ds *dataset.Dataset, am hybrid.AnalyticalModel
 // analytical model is accurate. Extra trees at {10, 15, 20}%, hybrid at
 // {1, 2, 4}%; aggregation enabled (the AM is representative).
 func Fig5(opts Options) (*Report, error) {
+	return fig5(context.Background(), opts)
+}
+
+func fig5(ctx context.Context, opts Options) (*Report, error) {
 	o := opts.normalized()
 	ds, err := StencilGridDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
 	if err != nil {
 		return nil, err
 	}
-	return hybridVsET("fig5",
+	return hybridVsET(ctx, "fig5",
 		"stencil, grid sizes only (accurate AM); hybrid needs 5-10x less data",
 		ds, StencilGridAM(o.Machine),
 		[]float64{0.10, 0.15, 0.20}, []float64{0.01, 0.02, 0.04},
@@ -178,12 +192,16 @@ func Fig5(opts Options) (*Report, error) {
 // Fig6 regenerates Fig. 6: grid sizes + loop blocking with the untuned
 // blocking AM (paper: AM MAPE = 42%); both models at {1, 2, 4}%.
 func Fig6(opts Options) (*Report, error) {
+	return fig6(context.Background(), opts)
+}
+
+func fig6(ctx context.Context, opts Options) (*Report, error) {
 	o := opts.normalized()
 	ds, err := StencilBlockingDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
 	if err != nil {
 		return nil, err
 	}
-	return hybridVsET("fig6",
+	return hybridVsET(ctx, "fig6",
 		"stencil, grid sizes + loop blocking (inaccurate AM)",
 		ds, StencilBlockingAM(o.Machine),
 		[]float64{0.01, 0.02, 0.04}, []float64{0.01, 0.02, 0.04},
@@ -194,12 +212,16 @@ func Fig6(opts Options) (*Report, error) {
 // Aggregation is disabled, as in the paper ("we do not aggregate ...
 // as the analytical models do not capture the parallelism").
 func Fig7(opts Options) (*Report, error) {
+	return fig7(context.Background(), opts)
+}
+
+func fig7(ctx context.Context, opts Options) (*Report, error) {
 	o := opts.normalized()
 	ds, err := StencilThreadsDataset(NewStencilSim(o.Machine, uint64(o.Seed)))
 	if err != nil {
 		return nil, err
 	}
-	return hybridVsET("fig7",
+	return hybridVsET(ctx, "fig7",
 		"stencil, multithreaded (serial AM, stacking only)",
 		ds, StencilThreadsAM(o.Machine),
 		[]float64{0.01, 0.02, 0.04}, []float64{0.01, 0.02, 0.04},
@@ -210,12 +232,16 @@ func Fig7(opts Options) (*Report, error) {
 // single-core AM (paper: AM MAPE = 84.5%); extra trees and hybrid at
 // {15, 20, 25}%.
 func Fig8(opts Options) (*Report, error) {
+	return fig8(context.Background(), opts)
+}
+
+func fig8(ctx context.Context, opts Options) (*Report, error) {
 	o := opts.normalized()
 	ds, err := FMMDataset(NewFMMSim(o.Machine, uint64(o.Seed)))
 	if err != nil {
 		return nil, err
 	}
-	return hybridVsET("fig8",
+	return hybridVsET(ctx, "fig8",
 		"FMM, X = (t,N,q,k) (highly inaccurate AM, stacking only)",
 		ds, FMMAM(o.Machine),
 		[]float64{0.15, 0.20, 0.25}, []float64{0.15, 0.20, 0.25},
@@ -225,21 +251,29 @@ func Fig8(opts Options) (*Report, error) {
 // Run regenerates one figure by id: fig3a, fig3b, fig5, fig6, fig7 or
 // fig8.
 func Run(id string, opts Options) (*Report, error) {
+	return RunCtx(context.Background(), id, opts)
+}
+
+// RunCtx is Run with prompt cancellation between the figure's
+// (fraction, repetition) trials; an unknown id wraps
+// lamerr.ErrUnknownFigure.
+func RunCtx(ctx context.Context, id string, opts Options) (*Report, error) {
 	switch id {
 	case "fig3a", "3a":
-		return Fig3Stencil(opts)
+		return fig3Stencil(ctx, opts)
 	case "fig3b", "3b":
-		return Fig3FMM(opts)
+		return fig3FMM(ctx, opts)
 	case "fig5", "5":
-		return Fig5(opts)
+		return fig5(ctx, opts)
 	case "fig6", "6":
-		return Fig6(opts)
+		return fig6(ctx, opts)
 	case "fig7", "7":
-		return Fig7(opts)
+		return fig7(ctx, opts)
 	case "fig8", "8":
-		return Fig8(opts)
+		return fig8(ctx, opts)
 	default:
-		return nil, fmt.Errorf("experiments: unknown figure %q", id)
+		return nil, fmt.Errorf("experiments: %w: %q (have %v, see EXPERIMENTS.md)",
+			lamerr.ErrUnknownFigure, id, AllFigureIDs())
 	}
 }
 
@@ -252,8 +286,15 @@ func AllFigureIDs() []string {
 // and returns the reports in input order. Each figure is itself
 // deterministic, so the batch matches len(ids) sequential Run calls.
 func RunMany(ids []string, opts Options) ([]*Report, error) {
-	return parallel.MapErr(len(ids), opts.Workers, func(i int) (*Report, error) {
-		r, err := Run(ids[i], opts)
+	return RunManyCtx(context.Background(), ids, opts)
+}
+
+// RunManyCtx is RunMany with prompt cancellation: the context is
+// threaded into every figure's trial sweep, so one cancel stops the
+// whole batch within a trial's duration.
+func RunManyCtx(ctx context.Context, ids []string, opts Options) ([]*Report, error) {
+	return parallel.MapCtx(ctx, len(ids), opts.Workers, func(i int) (*Report, error) {
+		r, err := RunCtx(ctx, ids[i], opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", ids[i], err)
 		}

@@ -17,10 +17,12 @@
 package hybrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"lam/internal/dataset"
+	"lam/internal/lamerr"
 	"lam/internal/ml"
 	"lam/internal/parallel"
 )
@@ -116,6 +118,14 @@ type Model struct {
 // sample with the AM, augment (or transform) the features, fit the ML
 // component.
 func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), train, am, cfg)
+}
+
+// TrainCtx is Train with prompt cancellation: the context is checked
+// between analytical-model scores and threaded into the ML component's
+// fit, so a cancelled training run returns a typed error (wrapping
+// lamerr.ErrCancelled and ctx.Err()) within one unit's duration.
+func TrainCtx(ctx context.Context, train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, error) {
 	if am == nil {
 		return nil, errors.New("hybrid: analytical model required")
 	}
@@ -126,7 +136,7 @@ func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, erro
 		return nil, err
 	}
 	amPred := make([]float64, train.Len())
-	if err := parallel.ForErr(train.Len(), cfg.Workers, func(i int) error {
+	if err := parallel.ForCtx(ctx, train.Len(), cfg.Workers, func(i int) error {
 		p, err := am.Predict(train.X[i])
 		if err != nil {
 			return fmt.Errorf("hybrid: analytical model on training sample %d: %w", i, err)
@@ -145,7 +155,7 @@ func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, erro
 		if err != nil {
 			return nil, err
 		}
-		if err := mlModel.Fit(aug.X, aug.Y); err != nil {
+		if err := ml.FitCtx(ctx, mlModel, aug.X, aug.Y); err != nil {
 			return nil, err
 		}
 	case ResidualMode:
@@ -153,7 +163,7 @@ func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, erro
 		for i := range res {
 			res[i] = train.Y[i] - amPred[i]
 		}
-		if err := mlModel.Fit(train.X, res); err != nil {
+		if err := ml.FitCtx(ctx, mlModel, train.X, res); err != nil {
 			return nil, err
 		}
 	case RatioMode:
@@ -164,7 +174,7 @@ func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, erro
 			}
 			ratio[i] = train.Y[i] / amPred[i]
 		}
-		if err := mlModel.Fit(train.X, ratio); err != nil {
+		if err := ml.FitCtx(ctx, mlModel, train.X, ratio); err != nil {
 			return nil, err
 		}
 	default:
@@ -174,11 +184,22 @@ func Train(train *dataset.Dataset, am AnalyticalModel, cfg Config) (*Model, erro
 	return m, nil
 }
 
+// NumFeatures returns the feature arity the model was trained on (the
+// raw vector, without the stacked analytical feature).
+func (m *Model) NumFeatures() int { return m.nFeatures }
+
+// IsFitted reports whether the model carries a trained ML component.
+func (m *Model) IsFitted() bool { return m != nil && m.mlModel != nil }
+
 // Predict scores one feature vector: run the AM, couple it with the ML
 // component per the mode, optionally aggregate.
 func (m *Model) Predict(x []float64) (float64, error) {
+	if !m.IsFitted() {
+		return 0, fmt.Errorf("hybrid: %w", lamerr.ErrNotFitted)
+	}
 	if len(x) != m.nFeatures {
-		return 0, fmt.Errorf("hybrid: predict got %d features, want %d", len(x), m.nFeatures)
+		return 0, fmt.Errorf("hybrid: %w: predict got %d features, want %d",
+			lamerr.ErrDimension, len(x), m.nFeatures)
 	}
 	amP, err := m.am.Predict(x)
 	if err != nil {
@@ -206,13 +227,36 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	return w*stacked + (1-w)*amP, nil
 }
 
+// PredictCtx is Predict with an up-front cancellation check — single
+// scores are microsecond-scale, so no mid-prediction check is needed.
+func (m *Model) PredictCtx(ctx context.Context, x []float64) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, parallel.Cancelled(err)
+		}
+	}
+	return m.Predict(x)
+}
+
 // PredictBatch scores every row of a dataset on the worker pool; rows
 // are written by index, so the output is bit-identical for every
 // worker count.
 func (m *Model) PredictBatch(ds *dataset.Dataset) ([]float64, error) {
-	out := make([]float64, ds.Len())
-	err := parallel.ForErr(ds.Len(), m.cfg.Workers, func(i int) error {
-		p, err := m.Predict(ds.X[i])
+	return m.PredictBatchCtx(context.Background(), ds.X)
+}
+
+// PredictBatchCtx scores every row of X on the worker pool with prompt
+// cancellation between rows. Rows are written by index, so the output
+// is bit-identical for every worker count — and identical to len(X)
+// sequential Predict calls, which is what lets the serving layer in
+// internal/serve answer requests bit-identical to library calls.
+func (m *Model) PredictBatchCtx(ctx context.Context, X [][]float64) ([]float64, error) {
+	if !m.IsFitted() {
+		return nil, fmt.Errorf("hybrid: %w", lamerr.ErrNotFitted)
+	}
+	out := make([]float64, len(X))
+	err := parallel.ForCtx(ctx, len(X), m.cfg.Workers, func(i int) error {
+		p, err := m.Predict(X[i])
 		if err != nil {
 			return err
 		}
@@ -228,7 +272,12 @@ func (m *Model) PredictBatch(ds *dataset.Dataset) ([]float64, error) {
 // MAPE evaluates the trained model on a held-out dataset and returns
 // the paper's headline metric.
 func (m *Model) MAPE(test *dataset.Dataset) (float64, error) {
-	pred, err := m.PredictBatch(test)
+	return m.MAPECtx(context.Background(), test)
+}
+
+// MAPECtx is MAPE with prompt cancellation between test rows.
+func (m *Model) MAPECtx(ctx context.Context, test *dataset.Dataset) (float64, error) {
+	pred, err := m.PredictBatchCtx(ctx, test.X)
 	if err != nil {
 		return 0, err
 	}
@@ -239,8 +288,14 @@ func (m *Model) MAPE(test *dataset.Dataset) (float64, error) {
 // paper quotes these untuned baselines (42% for blocked stencil, 84.5%
 // for FMM).
 func AnalyticalMAPE(ds *dataset.Dataset, am AnalyticalModel) (float64, error) {
+	return AnalyticalMAPECtx(context.Background(), ds, am)
+}
+
+// AnalyticalMAPECtx is AnalyticalMAPE with prompt cancellation between
+// rows.
+func AnalyticalMAPECtx(ctx context.Context, ds *dataset.Dataset, am AnalyticalModel) (float64, error) {
 	pred := make([]float64, ds.Len())
-	err := parallel.ForErr(ds.Len(), 0, func(i int) error {
+	err := parallel.ForCtx(ctx, ds.Len(), 0, func(i int) error {
 		p, err := am.Predict(ds.X[i])
 		if err != nil {
 			return err

@@ -1,0 +1,52 @@
+// Package lamerr defines the typed sentinel errors shared by every
+// layer of the repository and re-exported by the public facade. It is a
+// leaf package — it imports only the standard library — so the
+// substrates (internal/parallel, internal/ml, internal/hybrid,
+// internal/experiments, internal/registry, internal/serve) can all wrap
+// the same sentinels without import cycles, and callers can branch on
+// failure classes with errors.Is instead of string matching.
+//
+// Every sentinel is wrapped, never returned bare, so messages keep
+// their context ("lam: unknown machine %q (have …)") while errors.Is
+// still matches.
+package lamerr
+
+import "errors"
+
+var (
+	// ErrCancelled reports that an operation stopped early because its
+	// context was cancelled or its deadline expired. Errors wrapping it
+	// also wrap the underlying ctx.Err(), so both
+	// errors.Is(err, lamerr.ErrCancelled) and
+	// errors.Is(err, context.Canceled) (or context.DeadlineExceeded)
+	// hold.
+	ErrCancelled = errors.New("operation cancelled")
+
+	// ErrUnknownMachine reports a machine preset name with no
+	// registered description.
+	ErrUnknownMachine = errors.New("unknown machine")
+
+	// ErrUnknownWorkload reports a canonical dataset/workload name the
+	// experiment harness does not know.
+	ErrUnknownWorkload = errors.New("unknown workload")
+
+	// ErrUnknownFigure reports a figure id outside the reproducible set
+	// (see EXPERIMENTS.md).
+	ErrUnknownFigure = errors.New("unknown figure")
+
+	// ErrNotFitted reports a prediction request against a model that
+	// has not been (successfully) trained or loaded.
+	ErrNotFitted = errors.New("model not fitted")
+
+	// ErrDimension reports a feature vector whose arity does not match
+	// the model's training layout.
+	ErrDimension = errors.New("feature dimension mismatch")
+
+	// ErrUnknownModel reports a model name or version missing from a
+	// registry.
+	ErrUnknownModel = errors.New("unknown model")
+
+	// ErrBadRequest reports a malformed request to the serving layer
+	// (unparseable JSON, no feature vector, …).
+	ErrBadRequest = errors.New("bad request")
+)

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -35,6 +36,13 @@ type Bagging struct {
 
 // Fit trains the ensemble on bootstrap resamples of (X, y).
 func (b *Bagging) Fit(X [][]float64, y []float64) error {
+	return b.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit with prompt cancellation between ensemble members: once
+// ctx is done no further base model is fitted and a typed cancellation
+// error is returned without mutating the receiver.
+func (b *Bagging) FitCtx(ctx context.Context, X [][]float64, y []float64) error {
 	if b.NewBase == nil {
 		return errors.New("ml: Bagging requires NewBase")
 	}
@@ -54,7 +62,7 @@ func (b *Bagging) Fit(X [][]float64, y []float64) error {
 		size = 1
 	}
 	models := make([]Regressor, n)
-	err := parallel.ForErr(n, b.Workers, func(t int) error {
+	err := parallel.ForCtx(ctx, n, b.Workers, func(t int) error {
 		rng := rand.New(rand.NewSource(int64(xmath.Hash64(uint64(b.Seed), uint64(t), 0x62616767))))
 		bx := make([][]float64, size)
 		by := make([]float64, size)
@@ -98,3 +106,16 @@ func (b *Bagging) PredictBatch(X [][]float64) []float64 {
 
 // NumModels returns the number of fitted base models.
 func (b *Bagging) NumModels() int { return len(b.models) }
+
+// IsFitted reports whether the ensemble has been trained.
+func (b *Bagging) IsFitted() bool { return len(b.models) > 0 }
+
+// NumFeatures returns the feature arity the ensemble was fitted on (0
+// before Fit, or when the base models do not expose theirs).
+func (b *Bagging) NumFeatures() int {
+	if len(b.models) == 0 {
+		return 0
+	}
+	n, _ := NumFeaturesOf(b.models[0])
+	return n
+}

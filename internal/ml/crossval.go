@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -39,13 +40,20 @@ func CrossValScore(newModel func() Regressor, X [][]float64, y []float64, k int,
 // scores are stored by fold index, so the result is bit-identical for
 // every worker count. newModel must be safe to call concurrently.
 func CrossValScoreWorkers(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, score func(yTrue, yPred []float64) float64, workers int) ([]float64, error) {
+	return crossValScore(context.Background(), newModel, X, y, k, seed, score, workers)
+}
+
+// crossValScore is the shared implementation behind CrossValScoreWorkers
+// and CrossValScoreCtx: fold evaluation on the worker pool with prompt
+// cancellation between folds.
+func crossValScore(ctx context.Context, newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, score func(yTrue, yPred []float64) float64, workers int) ([]float64, error) {
 	if _, err := checkXY(X, y); err != nil {
 		return nil, err
 	}
 	n := len(X)
 	folds := KFoldIndices(n, k, rand.New(rand.NewSource(seed)))
 	scores := make([]float64, len(folds))
-	err := parallel.ForErr(len(folds), workers, func(f int) error {
+	err := parallel.ForCtx(ctx, len(folds), workers, func(f int) error {
 		fold := folds[f]
 		inFold := make([]bool, n)
 		for _, i := range fold {

@@ -1,0 +1,184 @@
+package ml
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lam/internal/lamerr"
+)
+
+// ctxTrainingSet builds a small deterministic regression problem.
+func ctxTrainingSet(n int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a := float64(i % 17)
+		b := float64(i % 5)
+		X[i] = []float64{a, b, float64(i)}
+		y[i] = 3*a - b + 0.25*float64(i)
+	}
+	return X, y
+}
+
+// TestFitCtxPreCancelledLeavesModelUntrained checks that a cancelled
+// fit reports the typed error and does not mutate the estimator.
+func TestFitCtxPreCancelledLeavesModelUntrained(t *testing.T) {
+	X, y := ctxTrainingSet(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range []Regressor{
+		NewExtraTrees(10, 1),
+		&Bagging{NewBase: func() Regressor { return NewDecisionTree(TreeConfig{Seed: 1}) }, N: 4},
+		&GradientBoosting{NStages: 5},
+		&Pipeline{Model: NewExtraTrees(5, 2)},
+		&Stacking{
+			NewBases: []func() Regressor{func() Regressor { return NewDecisionTree(TreeConfig{Seed: 1}) }},
+			NewMeta:  func() Regressor { return &LinearRegression{} },
+		},
+	} {
+		err := FitCtx(ctx, r, X, y)
+		if err == nil {
+			t.Fatalf("%T: cancelled fit returned nil error", r)
+		}
+		if !errors.Is(err, lamerr.ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%T: error %v missing cancellation sentinels", r, err)
+		}
+		if Fitted(r) {
+			t.Fatalf("%T: estimator reports fitted after cancelled fit", r)
+		}
+	}
+}
+
+// TestPipelineRefitCancelKeepsOldState checks a cancelled refit of an
+// already-fitted pipeline leaves the previous scaler+model pair
+// consistent (predictions unchanged), not a half-updated hybrid.
+func TestPipelineRefitCancelKeepsOldState(t *testing.T) {
+	X, y := ctxTrainingSet(80)
+	p := &Pipeline{Model: NewExtraTrees(10, 3)}
+	if err := p.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Predict(X[0])
+
+	// Refit on shifted data with a pre-cancelled context: the inner fit
+	// must refuse, and the scaler must not have been re-fitted.
+	shifted := make([][]float64, len(X))
+	for i, row := range X {
+		s := make([]float64, len(row))
+		for j, v := range row {
+			s[j] = v*100 + 5
+		}
+		shifted[i] = s
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.FitCtx(ctx, shifted, y); !errors.Is(err, lamerr.ErrCancelled) {
+		t.Fatalf("cancelled refit: got %v, want ErrCancelled", err)
+	}
+	if got := p.Predict(X[0]); got != before {
+		t.Fatalf("prediction changed after cancelled refit: %v != %v", got, before)
+	}
+}
+
+// TestPredictBatchCtxMatchesSequential checks bit-identical output and
+// the not-fitted guard.
+func TestPredictBatchCtxMatchesSequential(t *testing.T) {
+	X, y := ctxTrainingSet(200)
+	et := NewExtraTrees(20, 7)
+
+	if _, err := PredictBatchCtx(context.Background(), et, X, 0); !errors.Is(err, lamerr.ErrNotFitted) {
+		t.Fatalf("unfitted batch predict: got %v, want ErrNotFitted", err)
+	}
+
+	if err := et.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	got, err := PredictBatchCtx(context.Background(), et, X, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got[i] != et.Predict(x) {
+			t.Fatalf("row %d: batch %v != sequential %v", i, got[i], et.Predict(x))
+		}
+	}
+}
+
+// TestEnsembleNumFeatures checks the meta-estimators report the
+// original feature arity, so the serving guards catch wrong-arity
+// input instead of panicking.
+func TestEnsembleNumFeatures(t *testing.T) {
+	X, y := ctxTrainingSet(60)
+	bag := &Bagging{NewBase: func() Regressor { return NewDecisionTree(TreeConfig{Seed: 1}) }, N: 3}
+	if err := bag.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	stack := &Stacking{
+		NewBases: []func() Regressor{func() Regressor { return NewDecisionTree(TreeConfig{Seed: 1}) }},
+		NewMeta:  func() Regressor { return &LinearRegression{} },
+	}
+	if err := stack.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Regressor{bag, stack} {
+		if n, ok := NumFeaturesOf(r); !ok || n != 3 {
+			t.Fatalf("%T: NumFeaturesOf = (%d, %v), want (3, true)", r, n, ok)
+		}
+		if _, err := PredictBatchCtx(context.Background(), r, [][]float64{{1}}, 0); !errors.Is(err, lamerr.ErrDimension) {
+			t.Fatalf("%T: wrong-arity batch: got %v, want ErrDimension", r, err)
+		}
+	}
+}
+
+// TestGridSearchCtxCancelPromptly cancels a grid search mid-sweep and
+// checks it stops quickly with the typed error.
+func TestGridSearchCtxCancelPromptly(t *testing.T) {
+	X, y := ctxTrainingSet(150)
+	grids := []ParamGrid{{Name: "trees", Values: []float64{5, 10, 15, 20, 25, 30, 35, 40}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	evaluated := make(chan struct{}, 1)
+	start := time.Now()
+	go func() {
+		<-evaluated
+		cancel()
+	}()
+	_, _, err := GridSearchCtx(ctx, grids, func(p map[string]float64) Regressor {
+		select {
+		case evaluated <- struct{}{}:
+		default:
+		}
+		return NewExtraTrees(int(p["trees"]), 3)
+	}, X, y, 4, 11, MAPE, 2)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled grid search took %v", elapsed)
+	}
+	if !errors.Is(err, lamerr.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("grid search error %v missing cancellation sentinels", err)
+	}
+}
+
+// TestGridSearchCtxMatchesWorkers checks the ctx path returns the same
+// winner as the v1 entry point.
+func TestGridSearchCtxMatchesWorkers(t *testing.T) {
+	X, y := ctxTrainingSet(120)
+	grids := []ParamGrid{{Name: "trees", Values: []float64{5, 15}}}
+	newModel := func(p map[string]float64) Regressor { return NewExtraTrees(int(p["trees"]), 3) }
+	bestCtx, allCtx, err := GridSearchCtx(context.Background(), grids, newModel, X, y, 3, 11, MAPE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestV1, allV1, err := GridSearchWorkers(grids, newModel, X, y, 3, 11, MAPE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestCtx.Score != bestV1.Score || len(allCtx) != len(allV1) {
+		t.Fatalf("ctx path diverged: best %v vs %v", bestCtx, bestV1)
+	}
+	for i := range allCtx {
+		if allCtx[i].Score != allV1[i].Score {
+			t.Fatalf("candidate %d: %v vs %v", i, allCtx[i], allV1[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math/rand"
 
 	"lam/internal/parallel"
@@ -60,6 +61,14 @@ func NewExtraTrees(nTrees int, seed int64) *Forest {
 // independent of scheduling: every tree's randomness derives only from
 // (Seed, tree index).
 func (f *Forest) Fit(X [][]float64, y []float64) error {
+	return f.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit with prompt cancellation between trees: once ctx is
+// done no further tree starts growing and the fit returns a typed
+// cancellation error (wrapping lamerr.ErrCancelled and ctx.Err())
+// without mutating the receiver.
+func (f *Forest) FitCtx(ctx context.Context, X [][]float64, y []float64) error {
 	p, err := checkXY(X, y)
 	if err != nil {
 		return err
@@ -70,7 +79,7 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 		nTrees = 100
 	}
 	trees := make([]*DecisionTree, nTrees)
-	err = parallel.ForErr(nTrees, f.Workers, func(t int) error {
+	err = parallel.ForCtx(ctx, nTrees, f.Workers, func(t int) error {
 		// Every tree's randomness derives only from (Seed, t), so the
 		// worker pool cannot perturb the fitted ensemble.
 		treeSeed := int64(xmath.Hash64(uint64(f.Seed), uint64(t), 0x7265657301))
@@ -126,6 +135,13 @@ func (f *Forest) PredictBatch(X [][]float64) []float64 {
 
 // NumTrees returns the number of fitted member trees.
 func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// IsFitted reports whether the ensemble has been trained.
+func (f *Forest) IsFitted() bool { return len(f.trees) > 0 }
+
+// NumFeatures returns the feature arity the ensemble was fitted on (0
+// before Fit).
+func (f *Forest) NumFeatures() int { return f.nFeatures }
 
 // FeatureImportances averages the member trees' impurity-decrease
 // importances. The returned slice is a copy; it is all zeros when no

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -50,6 +51,16 @@ type GradientBoosting struct {
 
 // Fit runs stage-wise least-squares boosting.
 func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
+	return g.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit with prompt cancellation between boosting stages (the
+// stages themselves are inherently sequential); once ctx is done the
+// fit returns a typed cancellation error without mutating the receiver.
+func (g *GradientBoosting) FitCtx(ctx context.Context, X [][]float64, y []float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if _, err := checkXY(X, y); err != nil {
 		return err
 	}
@@ -77,9 +88,7 @@ func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
 		mean += v
 	}
 	mean /= float64(n)
-	g.init = mean
-	g.rate = rate
-	g.stages = g.stages[:0]
+	stages := make([]*DecisionTree, 0, stagesN)
 
 	current := make([]float64, n)
 	for i := range current {
@@ -91,6 +100,9 @@ func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
 		subN = 1
 	}
 	for s := 0; s < stagesN; s++ {
+		if err := ctx.Err(); err != nil {
+			return parallel.Cancelled(err)
+		}
 		for i := range residual {
 			residual[i] = y[i] - current[i]
 		}
@@ -114,7 +126,7 @@ func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
 		if err := tree.Fit(tx, ty); err != nil {
 			return fmt.Errorf("ml: boosting stage %d: %w", s, err)
 		}
-		g.stages = append(g.stages, tree)
+		stages = append(stages, tree)
 		// Disjoint per-index writes: the update is bit-identical for
 		// every worker count.
 		parallel.ForBlocks(n, g.Workers, 64, func(lo, hi int) {
@@ -123,7 +135,22 @@ func (g *GradientBoosting) Fit(X [][]float64, y []float64) error {
 			}
 		})
 	}
+	g.init = mean
+	g.rate = rate
+	g.stages = stages
 	return nil
+}
+
+// IsFitted reports whether the booster has been trained.
+func (g *GradientBoosting) IsFitted() bool { return len(g.stages) > 0 }
+
+// NumFeatures returns the feature arity the booster was fitted on (0
+// before Fit).
+func (g *GradientBoosting) NumFeatures() int {
+	if len(g.stages) == 0 {
+		return 0
+	}
+	return g.stages[0].NumFeatures()
 }
 
 // Predict sums the initial value and all shrunken stage contributions.

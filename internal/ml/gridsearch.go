@@ -1,11 +1,9 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
-
-	"lam/internal/parallel"
 )
 
 // ParamGrid names one hyperparameter axis and its candidate values.
@@ -53,19 +51,21 @@ func GridSearchWorkers(
 	score func(yTrue, yPred []float64) float64,
 	workers int,
 ) (best GridSearchResult, all []GridSearchResult, err error) {
+	return GridSearchCtx(context.Background(), grids, newModel, X, y, k, seed, score, workers)
+}
+
+// enumerateGrid validates the parameter grids and expands their
+// cartesian product with a mixed-radix counter, in a deterministic
+// enumeration order.
+func enumerateGrid(grids []ParamGrid) ([]map[string]float64, error) {
 	if len(grids) == 0 {
-		return best, nil, errors.New("ml: GridSearch needs at least one parameter grid")
+		return nil, errors.New("ml: GridSearch needs at least one parameter grid")
 	}
 	for _, g := range grids {
 		if len(g.Values) == 0 {
-			return best, nil, fmt.Errorf("ml: parameter %q has no candidate values", g.Name)
+			return nil, fmt.Errorf("ml: parameter %q has no candidate values", g.Name)
 		}
 	}
-	if _, err := checkXY(X, y); err != nil {
-		return best, nil, err
-	}
-
-	// Enumerate the cartesian product with a mixed-radix counter.
 	var candidates []map[string]float64
 	idx := make([]int, len(grids))
 	for {
@@ -87,29 +87,5 @@ func GridSearchWorkers(
 			break
 		}
 	}
-
-	all, err = parallel.MapErr(len(candidates), workers, func(c int) (GridSearchResult, error) {
-		params := candidates[c]
-		scores, err := CrossValScoreWorkers(func() Regressor { return newModel(params) },
-			X, y, k, seed, score, 1)
-		if err != nil {
-			return GridSearchResult{}, err
-		}
-		mean := 0.0
-		for _, s := range scores {
-			mean += s
-		}
-		mean /= float64(len(scores))
-		return GridSearchResult{Params: params, Score: mean}, nil
-	})
-	if err != nil {
-		return best, nil, err
-	}
-	best.Score = math.Inf(1)
-	for _, res := range all {
-		if res.Score < best.Score {
-			best = res
-		}
-	}
-	return best, all, nil
+	return candidates, nil
 }

@@ -40,6 +40,18 @@ func (k *KNN) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
+// IsFitted reports whether the training set has been memorised.
+func (k *KNN) IsFitted() bool { return len(k.x) > 0 }
+
+// NumFeatures returns the feature arity the model was fitted on (0
+// before Fit).
+func (k *KNN) NumFeatures() int {
+	if len(k.x) == 0 {
+		return 0
+	}
+	return len(k.x[0])
+}
+
 // Predict averages the responses of the K nearest training points.
 func (k *KNN) Predict(x []float64) float64 {
 	if len(k.x) == 0 {

@@ -20,6 +20,13 @@ type LinearRegression struct {
 	fitted    bool
 }
 
+// IsFitted reports whether the regression has been solved.
+func (l *LinearRegression) IsFitted() bool { return l.fitted }
+
+// NumFeatures returns the feature arity the regression was fitted on
+// (0 before Fit).
+func (l *LinearRegression) NumFeatures() int { return len(l.weights) }
+
 // Fit solves the normal equations (X'X + λI) w = X'y with an intercept
 // column. Rank-deficient systems fall back to a tiny implicit ridge to
 // stay solvable.

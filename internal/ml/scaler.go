@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -118,22 +119,40 @@ type Pipeline struct {
 
 // Fit standardises X and fits the inner model on the scaled features.
 func (p *Pipeline) Fit(X [][]float64, y []float64) error {
+	return p.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit with the context forwarded to the inner model's fit
+// when it supports cancellation (see ContextFitter). The scaler is
+// staged locally and only assigned once the inner fit succeeds, so a
+// cancelled or failed refit of an already-fitted pipeline leaves the
+// previous (consistent) state untouched.
+func (p *Pipeline) FitCtx(ctx context.Context, X [][]float64, y []float64) error {
 	if p.Model == nil {
 		return errors.New("ml: Pipeline requires a Model")
 	}
 	if _, err := checkXY(X, y); err != nil {
 		return err
 	}
-	scaled, err := p.scaler.FitTransform(X)
+	var scaler StandardScaler
+	scaled, err := scaler.FitTransform(X)
 	if err != nil {
 		return err
 	}
-	if err := p.Model.Fit(scaled, y); err != nil {
+	if err := FitCtx(ctx, p.Model, scaled, y); err != nil {
 		return err
 	}
+	p.scaler = scaler
 	p.fitted = true
 	return nil
 }
+
+// IsFitted reports whether the pipeline has been trained.
+func (p *Pipeline) IsFitted() bool { return p.fitted }
+
+// NumFeatures returns the feature arity the pipeline was fitted on (0
+// before Fit).
+func (p *Pipeline) NumFeatures() int { return len(p.scaler.mean) }
 
 // Predict scales x with the training statistics and delegates.
 func (p *Pipeline) Predict(x []float64) float64 {

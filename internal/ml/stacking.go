@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -44,6 +45,13 @@ type Stacking struct {
 
 // Fit trains the stack.
 func (s *Stacking) Fit(X [][]float64, y []float64) error {
+	return s.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit with prompt cancellation between the independent
+// (fold, base) training units; once ctx is done the fit returns a
+// typed cancellation error without mutating the receiver.
+func (s *Stacking) FitCtx(ctx context.Context, X [][]float64, y []float64) error {
 	if len(s.NewBases) == 0 {
 		return errors.New("ml: Stacking requires at least one base model")
 	}
@@ -86,7 +94,7 @@ func (s *Stacking) Fit(X [][]float64, y []float64) error {
 			trainXs[f], trainYs[f] = trainX, trainY
 		}
 		units := len(folds) * nb
-		if err := parallel.ForErr(units, s.Workers, func(u int) error {
+		if err := parallel.ForCtx(ctx, units, s.Workers, func(u int) error {
 			f, b := u/nb, u%nb
 			m := s.NewBases[b]()
 			if err := m.Fit(trainXs[f], trainYs[f]); err != nil {
@@ -100,7 +108,7 @@ func (s *Stacking) Fit(X [][]float64, y []float64) error {
 			return err
 		}
 	} else {
-		if err := parallel.ForErr(nb, s.Workers, func(b int) error {
+		if err := parallel.ForCtx(ctx, nb, s.Workers, func(b int) error {
 			m := s.NewBases[b]()
 			if err := m.Fit(X, y); err != nil {
 				return err
@@ -117,7 +125,7 @@ func (s *Stacking) Fit(X [][]float64, y []float64) error {
 	// Final base models are always refit on the full training set; they
 	// produce the meta features at prediction time.
 	bases := make([]Regressor, nb)
-	if err := parallel.ForErr(nb, s.Workers, func(b int) error {
+	if err := parallel.ForCtx(ctx, nb, s.Workers, func(b int) error {
 		m := s.NewBases[b]()
 		if err := m.Fit(X, y); err != nil {
 			return err
@@ -127,14 +135,32 @@ func (s *Stacking) Fit(X [][]float64, y []float64) error {
 	}); err != nil {
 		return err
 	}
-	s.bases = bases
 
 	metaX := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		metaX[i] = s.assemble(X[i], metaFeat[i])
 	}
-	s.meta = s.NewMeta()
-	return s.meta.Fit(metaX, y)
+	meta := s.NewMeta()
+	if err := FitCtx(ctx, meta, metaX, y); err != nil {
+		return err
+	}
+	s.bases = bases
+	s.meta = meta
+	return nil
+}
+
+// IsFitted reports whether the stack has been trained.
+func (s *Stacking) IsFitted() bool { return s.meta != nil }
+
+// NumFeatures returns the original feature arity the stack was fitted
+// on (the base models' input, not the meta model's augmented vector);
+// 0 before Fit, or when the base models do not expose theirs.
+func (s *Stacking) NumFeatures() int {
+	if len(s.bases) == 0 {
+		return 0
+	}
+	n, _ := NumFeaturesOf(s.bases[0])
+	return n
 }
 
 // assemble builds the meta model's input for one sample.

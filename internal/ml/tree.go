@@ -90,6 +90,13 @@ func NewDecisionTree(cfg TreeConfig) *DecisionTree {
 	return &DecisionTree{Config: cfg}
 }
 
+// IsFitted reports whether the tree has been grown.
+func (t *DecisionTree) IsFitted() bool { return t.root != nil }
+
+// NumFeatures returns the feature arity the tree was fitted on (0
+// before Fit).
+func (t *DecisionTree) NumFeatures() int { return t.nFeatures }
+
 // Fit grows the tree on (X, y).
 func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
 	p, err := checkXY(X, y)

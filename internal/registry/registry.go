@@ -1,0 +1,375 @@
+// Package registry stores versioned trained-model artifacts on disk,
+// unifying the repository's ad-hoc Save/Load paths (ml.SaveModel,
+// hybrid.Model.Save) behind one layout with metadata. It is the
+// storage backend of the lam-serve prediction service and of the
+// -registry flag on lam-predict.
+//
+// Layout (one directory per model name, one per version):
+//
+//	<root>/<name>/v0001/meta.json   — Meta: kind, workload, machine, …
+//	<root>/<name>/v0001/model.json  — the serialised model artifact
+//	<root>/<name>/v0002/…
+//
+// Versions auto-increment on save and are never rewritten; writes go
+// through a temporary directory renamed into place, so a crashed save
+// can never produce a half-readable version. Loading a hybrid model
+// reconstructs its analytical component from the (workload, machine)
+// metadata, exactly as at training time — which is what the old
+// hybrid.Load required every caller to hand-wire.
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"lam/internal/experiments"
+	"lam/internal/hybrid"
+	"lam/internal/lamerr"
+	"lam/internal/machine"
+	"lam/internal/ml"
+)
+
+// Model kinds stored in Meta.Kind.
+const (
+	KindHybrid    = "hybrid"
+	KindRegressor = "regressor"
+)
+
+// Meta describes one stored model version. Name and Kind are set by the
+// registry on save; the caller provides the provenance fields.
+type Meta struct {
+	// Name is the model's registry name ([a-z0-9._-]+).
+	Name string `json:"name"`
+	// Version is the 1-based version number within Name.
+	Version int `json:"version"`
+	// Kind is KindHybrid or KindRegressor.
+	Kind string `json:"kind"`
+	// Workload is the canonical dataset name the model was trained for
+	// (see experiments.DatasetByName). Required for hybrid models — the
+	// analytical component is rebuilt from it at load time.
+	Workload string `json:"workload,omitempty"`
+	// Machine is the machine-preset name the model was trained on.
+	// Required for hybrid models.
+	Machine string `json:"machine,omitempty"`
+	// TrainSize is the number of training samples.
+	TrainSize int `json:"train_size,omitempty"`
+	// TestMAPE is the held-out MAPE (percent) measured at save time.
+	TestMAPE float64 `json:"test_mape,omitempty"`
+	// CreatedAt is the save timestamp (UTC).
+	CreatedAt time.Time `json:"created_at"`
+	// Notes is free-form provenance.
+	Notes string `json:"notes,omitempty"`
+}
+
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]*$`)
+
+// ValidName reports whether name is a legal registry model name
+// ([a-z0-9][a-z0-9._-]*). Callers that train before saving (e.g.
+// lam-predict -registry) should check this up front so a typo fails in
+// milliseconds instead of discarding a long training run at publish
+// time.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// versionDirRE matches exactly the directory names versionDir
+// produces: "v" + digits (zero-padded to at least 4, wider when the
+// count outgrows them). Anything else in a model directory — tmp dirs,
+// stray files — is ignored rather than misparsed.
+var versionDirRE = regexp.MustCompile(`^v(\d{4,})$`)
+
+// Registry is a directory of versioned model artifacts. All methods are
+// safe for concurrent use by independent processes to the extent the
+// filesystem's rename atomicity allows; a single process may share one
+// Registry across goroutines.
+type Registry struct {
+	root string
+	// saveMu serialises in-process version allocation; cross-process
+	// races are resolved by the rename-retry loop in save.
+	saveMu sync.Mutex
+}
+
+// Open opens (creating if necessary) a registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("registry: empty root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	return &Registry{root: dir}, nil
+}
+
+// Root returns the registry's root directory.
+func (r *Registry) Root() string { return r.root }
+
+// SaveHybrid stores a trained hybrid model under meta.Name and returns
+// the completed metadata (version, kind, timestamp filled in).
+// meta.Workload and meta.Machine are required: they are what Load uses
+// to reconstruct the analytical component.
+func (r *Registry) SaveHybrid(m *hybrid.Model, meta Meta) (Meta, error) {
+	if m == nil || !m.IsFitted() {
+		return Meta{}, fmt.Errorf("registry: %w", lamerr.ErrNotFitted)
+	}
+	if meta.Workload == "" || meta.Machine == "" {
+		return Meta{}, fmt.Errorf("registry: hybrid models need Workload and Machine metadata to rebuild the analytical component")
+	}
+	// Fail on an unknown workload/machine at save time, not at load.
+	if _, err := amFor(meta.Workload, meta.Machine); err != nil {
+		return Meta{}, err
+	}
+	meta.Kind = KindHybrid
+	return r.save(meta, m.Save)
+}
+
+// SaveRegressor stores a fitted ML regressor (any type ml.SaveModel
+// supports) under meta.Name and returns the completed metadata.
+func (r *Registry) SaveRegressor(reg ml.Regressor, meta Meta) (Meta, error) {
+	if reg == nil || !ml.Fitted(reg) {
+		return Meta{}, fmt.Errorf("registry: %w", lamerr.ErrNotFitted)
+	}
+	meta.Kind = KindRegressor
+	return r.save(meta, func(w io.Writer) error { return ml.SaveModel(w, reg) })
+}
+
+// save allocates the next version directory and writes model.json (via
+// writeModel) and meta.json into it atomically (tmp dir + rename).
+// In-process saves are serialised by saveMu; a concurrent save from
+// another process is detected by the rename failing against the
+// already-published version directory, in which case the allocation is
+// retried with a fresh version number (the artifact is only written
+// once — only meta.json is rewritten with the new number).
+func (r *Registry) save(meta Meta, writeModel func(io.Writer) error) (Meta, error) {
+	if !nameRE.MatchString(meta.Name) {
+		return Meta{}, fmt.Errorf("registry: invalid model name %q (want %s)", meta.Name, nameRE)
+	}
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+
+	nameDir := filepath.Join(r.root, meta.Name)
+	if err := os.MkdirAll(nameDir, 0o755); err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	tmp, err := os.MkdirTemp(nameDir, ".tmp-v*")
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	mf, err := os.Create(filepath.Join(tmp, "model.json"))
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	if err := writeModel(mf); err != nil {
+		mf.Close()
+		return Meta{}, fmt.Errorf("registry: writing model artifact: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+
+	const maxAttempts = 10
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		versions, err := r.versionNumbers(meta.Name)
+		if err != nil {
+			return Meta{}, err
+		}
+		next := 1
+		if len(versions) > 0 {
+			next = versions[len(versions)-1] + 1
+		}
+		meta.Version = next
+		meta.CreatedAt = time.Now().UTC()
+		metaRaw, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			return Meta{}, fmt.Errorf("registry: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, "meta.json"), append(metaRaw, '\n'), 0o644); err != nil {
+			return Meta{}, fmt.Errorf("registry: %w", err)
+		}
+		err = os.Rename(tmp, r.versionDir(meta.Name, next))
+		if err == nil {
+			return meta, nil
+		}
+		// Another process published this version between our scan and
+		// the rename; rescan and try the next number.
+		if !os.IsExist(err) && !errors.Is(err, syscall.ENOTEMPTY) {
+			return Meta{}, fmt.Errorf("registry: publishing version: %w", err)
+		}
+	}
+	return Meta{}, fmt.Errorf("registry: publishing %s: lost the version race %d times", meta.Name, maxAttempts)
+}
+
+func (r *Registry) versionDir(name string, version int) string {
+	return filepath.Join(r.root, name, fmt.Sprintf("v%04d", version))
+}
+
+// versionNumbers lists the published versions of a name, ascending.
+// Names that fail nameRE (including anything path-shaped — Load and
+// LatestVersion take names straight from HTTP requests via
+// internal/serve) resolve to no versions rather than touching the
+// filesystem outside the registry root.
+func (r *Registry) versionNumbers(name string) ([]int, error) {
+	if !nameRE.MatchString(name) {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(r.root, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m := versionDirRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.Atoi(m[1])
+		if err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// LatestVersion resolves the newest published version number of a
+// name with a single directory scan (no artifact read). A missing name
+// wraps lamerr.ErrUnknownModel.
+func (r *Registry) LatestVersion(name string) (int, error) {
+	versions, err := r.versionNumbers(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(versions) == 0 {
+		return 0, fmt.Errorf("registry: %w: %q", lamerr.ErrUnknownModel, name)
+	}
+	return versions[len(versions)-1], nil
+}
+
+// Names lists the model names in the registry, sorted.
+func (r *Registry) Names() ([]string, error) {
+	entries, err := os.ReadDir(r.root)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && nameRE.MatchString(e.Name()) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// List returns the metadata of every stored version, sorted by name
+// then version. Versions whose meta.json is missing or corrupt (e.g. a
+// hand-copied directory) are skipped rather than failing the whole
+// listing — they still error loudly on Load.
+func (r *Registry) List() ([]Meta, error) {
+	names, err := r.Names()
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for _, name := range names {
+		versions, err := r.versionNumbers(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			m, err := r.readMeta(name, v)
+			if err != nil {
+				continue
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+func (r *Registry) readMeta(name string, version int) (Meta, error) {
+	raw, err := os.ReadFile(filepath.Join(r.versionDir(name, version), "meta.json"))
+	if err != nil {
+		return Meta{}, fmt.Errorf("registry: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Meta{}, fmt.Errorf("registry: corrupt meta for %s v%d: %w", name, version, err)
+	}
+	return m, nil
+}
+
+// amFor rebuilds the analytical model for a (workload, machine) pair.
+func amFor(workload, machineName string) (hybrid.AnalyticalModel, error) {
+	m, ok := machine.Presets()[machineName]
+	if !ok {
+		return nil, fmt.Errorf("registry: %w: %q", lamerr.ErrUnknownMachine, machineName)
+	}
+	return experiments.AMByDataset(workload, m)
+}
+
+// Load restores one stored version as a ready-to-serve Model. version
+// <= 0 means the latest. Missing names and versions wrap
+// lamerr.ErrUnknownModel.
+func (r *Registry) Load(name string, version int) (*Model, error) {
+	versions, err := r.versionNumbers(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("registry: %w: %q", lamerr.ErrUnknownModel, name)
+	}
+	if version <= 0 {
+		version = versions[len(versions)-1]
+	} else if !slices.Contains(versions, version) {
+		return nil, fmt.Errorf("registry: %w: %q v%d (have %v)", lamerr.ErrUnknownModel, name, version, versions)
+	}
+	meta, err := r.readMeta(name, version)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(r.versionDir(name, version), "model.json"))
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	defer f.Close()
+
+	lm := &Model{Meta: meta}
+	switch meta.Kind {
+	case KindHybrid:
+		am, err := amFor(meta.Workload, meta.Machine)
+		if err != nil {
+			return nil, err
+		}
+		hy, err := hybrid.Load(f, am)
+		if err != nil {
+			return nil, err
+		}
+		lm.hybrid = hy
+	case KindRegressor:
+		reg, err := ml.LoadModel(f)
+		if err != nil {
+			return nil, err
+		}
+		lm.regressor = reg
+	default:
+		return nil, fmt.Errorf("registry: %s v%d has unknown kind %q", name, version, meta.Kind)
+	}
+	return lm, nil
+}

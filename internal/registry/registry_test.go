@@ -1,0 +1,325 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lam/internal/experiments"
+	"lam/internal/hybrid"
+	"lam/internal/lamerr"
+	"lam/internal/machine"
+	"lam/internal/ml"
+)
+
+// trainFixture builds a small hybrid model + its train/test split on
+// the stencil-grid workload.
+func trainFixture(t *testing.T) (*hybrid.Model, [][]float64) {
+	t.Helper()
+	m := machine.BlueWatersXE6()
+	ds, err := experiments.DatasetByName("stencil-grid", m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := experiments.AMByDataset("stencil-grid", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	train, test, err := ds.SampleFraction(0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := hybrid.Train(train, am, hybrid.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hy, test.X[:50]
+}
+
+// TestHybridRoundTrip saves a hybrid model, reloads it through the
+// registry, and checks predictions are bit-identical to the in-memory
+// model.
+func TestHybridRoundTrip(t *testing.T) {
+	hy, X := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := reg.SaveHybrid(hy, Meta{
+		Name: "grid-hybrid", Workload: "stencil-grid", Machine: "bluewaters",
+		TrainSize: 14, TestMAPE: 1.23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 1 || meta.Kind != KindHybrid || meta.CreatedAt.IsZero() {
+		t.Fatalf("bad completed meta: %+v", meta)
+	}
+
+	lm, err := reg.Load("grid-hybrid", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hy.PredictBatchCtx(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lm.PredictBatch(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: registry %v != library %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVersioning checks auto-increment and explicit-version loads.
+func TestVersioning(t *testing.T) {
+	hy, _ := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Meta{Name: "m", Workload: "stencil-grid", Machine: "bluewaters"}
+	for want := 1; want <= 3; want++ {
+		meta, err := reg.SaveHybrid(hy, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Version != want {
+			t.Fatalf("save %d allocated version %d", want, meta.Version)
+		}
+	}
+	lm, err := reg.Load("m", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Meta.Version != 2 {
+		t.Fatalf("loaded version %d, want 2", lm.Meta.Version)
+	}
+	all, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("List returned %d entries, want 3", len(all))
+	}
+}
+
+// TestRegressorRoundTrip saves a fitted pipeline and checks the loaded
+// model predicts bit-identically and validates arity.
+func TestRegressorRoundTrip(t *testing.T) {
+	X := make([][]float64, 120)
+	y := make([]float64, 120)
+	for i := range X {
+		X[i] = []float64{float64(i % 13), float64(i % 7)}
+		y[i] = 2*X[i][0] - X[i][1]
+	}
+	p := &ml.Pipeline{Model: ml.NewExtraTrees(15, 5)}
+	if err := p.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveRegressor(p, Meta{Name: "et-pipe"}); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := reg.Load("et-pipe", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lm.PredictBatch(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if got[i] != p.Predict(X[i]) {
+			t.Fatalf("row %d: %v != %v", i, got[i], p.Predict(X[i]))
+		}
+	}
+	if _, err := lm.Predict(context.Background(), []float64{1, 2, 3}); !errors.Is(err, lamerr.ErrDimension) {
+		t.Fatalf("wrong-arity predict: got %v, want ErrDimension", err)
+	}
+}
+
+// TestConcurrentSaves races several goroutines saving under one name
+// and checks every save lands on a distinct version with none lost.
+func TestConcurrentSaves(t *testing.T) {
+	hy, _ := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	versions := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			meta, err := reg.SaveHybrid(hy, Meta{Name: "raced", Workload: "stencil-grid", Machine: "bluewaters"})
+			versions[i], errs[i] = meta.Version, err
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("save %d: %v", i, errs[i])
+		}
+		if seen[versions[i]] {
+			t.Fatalf("version %d allocated twice", versions[i])
+		}
+		seen[versions[i]] = true
+	}
+	latest, err := reg.LatestVersion("raced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != n {
+		t.Fatalf("latest = %d, want %d", latest, n)
+	}
+}
+
+// TestVersionDirParsing checks stray directories are ignored and
+// 5-digit versions round-trip (the zero-padding is a floor, not a
+// ceiling).
+func TestVersionDirParsing(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, _ := trainFixture(t)
+	if _, err := reg.SaveHybrid(hy, Meta{Name: "m", Workload: "stencil-grid", Machine: "bluewaters"}); err != nil {
+		t.Fatal(err)
+	}
+	// Junk that must not parse as versions.
+	for _, junk := range []string{"v0001abc", "vx", "notes", ".tmp-v123"} {
+		if err := os.MkdirAll(filepath.Join(dir, "m", junk), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A hand-planted 5-digit version: copy v0001's contents.
+	src := filepath.Join(dir, "m", "v0001")
+	dst := filepath.Join(dir, "m", "v10000")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"model.json", "meta.json"} {
+		raw, err := os.ReadFile(filepath.Join(src, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, f), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err := reg.LatestVersion("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != 10000 {
+		t.Fatalf("latest = %d, want 10000", latest)
+	}
+	meta, err := reg.SaveHybrid(hy, Meta{Name: "m", Workload: "stencil-grid", Machine: "bluewaters"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 10001 {
+		t.Fatalf("next version = %d, want 10001", meta.Version)
+	}
+	if _, err := reg.Load("m", 10001); err != nil {
+		t.Fatalf("loading v10001: %v", err)
+	}
+}
+
+// TestLatestVersion covers the cheap latest-resolution path.
+func TestLatestVersion(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LatestVersion("missing"); !errors.Is(err, lamerr.ErrUnknownModel) {
+		t.Fatalf("missing name: got %v, want ErrUnknownModel", err)
+	}
+	hy, _ := trainFixture(t)
+	for i := 0; i < 2; i++ {
+		if _, err := reg.SaveHybrid(hy, Meta{Name: "m", Workload: "stencil-grid", Machine: "bluewaters"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := reg.LatestVersion("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("latest = %d, want 2", v)
+	}
+}
+
+// TestPathShapedNamesRejected checks HTTP-supplied names cannot escape
+// the registry root: anything failing the name grammar resolves to
+// ErrUnknownModel without touching the filesystem outside root.
+func TestPathShapedNamesRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(filepath.Join(dir, "registry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a version-shaped layout OUTSIDE the registry root; a
+	// traversal name must not reach it.
+	outside := filepath.Join(dir, "secret", "v0001")
+	if err := os.MkdirAll(outside, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"../secret", "..", "a/b", "/etc", ".hidden", "UPPER"} {
+		if _, err := reg.Load(name, 0); !errors.Is(err, lamerr.ErrUnknownModel) {
+			t.Errorf("Load(%q): got %v, want ErrUnknownModel", name, err)
+		}
+		if _, err := reg.LatestVersion(name); !errors.Is(err, lamerr.ErrUnknownModel) {
+			t.Errorf("LatestVersion(%q): got %v, want ErrUnknownModel", name, err)
+		}
+	}
+}
+
+// TestTypedErrors covers the failure classes.
+func TestTypedErrors(t *testing.T) {
+	hy, _ := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("nope", 0); !errors.Is(err, lamerr.ErrUnknownModel) {
+		t.Fatalf("missing name: got %v, want ErrUnknownModel", err)
+	}
+	if _, err := reg.SaveHybrid(hy, Meta{Name: "m"}); err == nil {
+		t.Fatal("SaveHybrid without workload/machine metadata succeeded")
+	}
+	if _, err := reg.SaveHybrid(hy, Meta{Name: "m", Workload: "bogus", Machine: "bluewaters"}); !errors.Is(err, lamerr.ErrUnknownWorkload) {
+		t.Fatalf("bogus workload: got %v, want ErrUnknownWorkload", err)
+	}
+	if _, err := reg.SaveHybrid(hy, Meta{Name: "m", Workload: "stencil-grid", Machine: "bogus"}); !errors.Is(err, lamerr.ErrUnknownMachine) {
+		t.Fatalf("bogus machine: got %v, want ErrUnknownMachine", err)
+	}
+	if _, err := reg.SaveHybrid(hy, Meta{Name: "Bad Name!", Workload: "stencil-grid", Machine: "bluewaters"}); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	meta, err := reg.SaveHybrid(hy, Meta{Name: "m", Workload: "stencil-grid", Machine: "bluewaters"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("m", meta.Version+5); !errors.Is(err, lamerr.ErrUnknownModel) {
+		t.Fatalf("missing version: got %v, want ErrUnknownModel", err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package serve is the HTTP prediction service behind cmd/lam-serve:
+// a JSON API that loads trained models from a registry
+// (internal/registry) and answers single and batched prediction
+// requests bit-identical to the equivalent library calls — the handler
+// funnels every request through the same registry.Model batch path the
+// library exposes, so there is exactly one prediction code path.
+//
+// Endpoints:
+//
+//	GET  /healthz  — liveness: {"status":"ok","models":N}
+//	GET  /models   — every stored model version's metadata
+//	POST /predict  — {"model":"name","version":2,"x":[…]} or
+//	                 {"model":"name","batch":[[…],[…]]}
+//
+// The request context is threaded into the batch predictor, so a
+// dropped client connection cancels the in-flight prediction between
+// rows. Loaded models are cached per (name, version); "latest" is
+// re-resolved on every request so a new save becomes visible without a
+// restart.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"lam/internal/lamerr"
+	"lam/internal/registry"
+)
+
+// Server serves predictions from one registry.
+type Server struct {
+	reg *registry.Registry
+	// Workers bounds per-request batch parallelism for regressor
+	// models; <= 0 means the process default.
+	Workers int
+
+	mu    sync.RWMutex
+	cache map[string]*registry.Model // key: name@version
+}
+
+// New returns a server backed by reg.
+func New(reg *registry.Registry) *Server {
+	return &Server{reg: reg, cache: make(map[string]*registry.Model)}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	return mux
+}
+
+// load returns the cached model for (name, version), loading it on
+// first use. version <= 0 first resolves to the latest stored version
+// with a cheap directory scan — so "latest" requests still hit the
+// deserialized-model cache, and a newly published version is picked up
+// without a restart.
+func (s *Server) load(name string, version int) (*registry.Model, error) {
+	if version <= 0 {
+		latest, err := s.reg.LatestVersion(name)
+		if err != nil {
+			return nil, err
+		}
+		version = latest
+	}
+	key := fmt.Sprintf("%s@%d", name, version)
+	s.mu.RLock()
+	m := s.cache[key]
+	s.mu.RUnlock()
+	if m != nil {
+		return m, nil
+	}
+	m, err := s.reg.Load(name, version)
+	if err != nil {
+		return nil, err
+	}
+	m.Workers = s.Workers
+	s.mu.Lock()
+	if cached, ok := s.cache[key]; ok {
+		m = cached // another request won the load race; keep one instance
+	} else {
+		s.cache[key] = m
+		s.evictOldLocked(name)
+	}
+	s.mu.Unlock()
+	return m, nil
+}
+
+// keepVersionsPerName bounds the cache per model name: the live
+// workflow republishes models while the server runs, and without
+// eviction every superseded deserialized ensemble would stay resident
+// forever. Two versions cover the steady state (latest plus one pinned
+// or draining predecessor); older pins are served correctly but reload
+// on each cache miss.
+const keepVersionsPerName = 2
+
+// evictOldLocked drops all but the newest keepVersionsPerName cached
+// versions of name. Caller holds s.mu.
+func (s *Server) evictOldLocked(name string) {
+	var versions []int
+	prefix := name + "@"
+	for key, m := range s.cache {
+		if strings.HasPrefix(key, prefix) {
+			versions = append(versions, m.Meta.Version)
+		}
+	}
+	if len(versions) <= keepVersionsPerName {
+		return
+	}
+	sort.Ints(versions)
+	for _, v := range versions[:len(versions)-keepVersionsPerName] {
+		delete(s.cache, fmt.Sprintf("%s@%d", name, v))
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxRequestBytes bounds a /predict request body (64 MiB ≈ a 400k-row
+// batch of 20 features): without a cap, one oversized POST would be
+// fully decoded into memory before any validation runs.
+const maxRequestBytes = 64 << 20
+
+// writeError maps the repository's typed sentinels to HTTP status
+// codes and emits a JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, lamerr.ErrBadRequest), errors.Is(err, lamerr.ErrDimension):
+		status = http.StatusBadRequest
+	case errors.Is(err, lamerr.ErrUnknownModel):
+		status = http.StatusNotFound
+	case errors.Is(err, lamerr.ErrCancelled):
+		// The client is gone or gave up; 499 in nginx convention. The
+		// response is moot but keeps logs truthful.
+		status = 499
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// predictError classifies a prediction-time failure: cancellation and
+// server-state faults (unfitted model) keep their classes, everything
+// else on a well-formed request is input the model rejected (e.g. the
+// analytical model refusing non-positive grid dimensions) and is the
+// client's fault.
+func predictError(err error) error {
+	if errors.Is(err, lamerr.ErrCancelled) || errors.Is(err, lamerr.ErrNotFitted) {
+		return err
+	}
+	if errors.Is(err, lamerr.ErrBadRequest) || errors.Is(err, lamerr.ErrDimension) {
+		return err
+	}
+	return fmt.Errorf("serve: %w: %w", lamerr.ErrBadRequest, err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type healthzResponse struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness must stay cheap enough for tight probe loops: one
+	// directory scan, no meta.json reads (unlike /models).
+	names, err := s.reg.Names()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Models: len(names)})
+}
+
+type modelsResponse struct {
+	Models []registry.Meta `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	metas, err := s.reg.List()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelsResponse{Models: metas})
+}
+
+// predictRequest carries one single-vector or batched prediction
+// request. Exactly one of X and Batch must be set.
+type predictRequest struct {
+	// Model is the registry name. Required.
+	Model string `json:"model"`
+	// Version selects a stored version; 0 or absent means latest.
+	Version int `json:"version,omitempty"`
+	// X is a single feature vector.
+	X []float64 `json:"x,omitempty"`
+	// Batch is a list of feature vectors.
+	Batch [][]float64 `json:"batch,omitempty"`
+}
+
+// predictResponse mirrors the request shape: Y for single, YBatch for
+// batched. Values are encoded by encoding/json's shortest-round-trip
+// float formatting, so decoding yields the library's float64 bits
+// exactly.
+type predictResponse struct {
+	Model   string    `json:"model"`
+	Version int       `json:"version"`
+	Y       *float64  `json:"y,omitempty"`
+	YBatch  []float64 `json:"y_batch,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("serve: %w: %w", lamerr.ErrBadRequest, err))
+		return
+	}
+	if req.Model == "" {
+		writeError(w, fmt.Errorf("serve: %w: missing \"model\"", lamerr.ErrBadRequest))
+		return
+	}
+	single := req.X != nil
+	if single == (len(req.Batch) > 0) {
+		writeError(w, fmt.Errorf("serve: %w: exactly one of \"x\" and \"batch\" must be set", lamerr.ErrBadRequest))
+		return
+	}
+	m, err := s.load(req.Model, req.Version)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := predictResponse{Model: m.Meta.Name, Version: m.Meta.Version}
+	if single {
+		y, err := m.Predict(r.Context(), req.X)
+		if err != nil {
+			writeError(w, predictError(err))
+			return
+		}
+		resp.Y = &y
+	} else {
+		ys, err := m.PredictBatch(r.Context(), req.Batch)
+		if err != nil {
+			writeError(w, predictError(err))
+			return
+		}
+		resp.YBatch = ys
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

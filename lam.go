@@ -18,6 +18,13 @@
 //
 // See examples/ for runnable walk-throughs and cmd/lam-bench for the
 // figure regeneration tool.
+//
+// The context-first v2 surface lives in v2.go: the unified Predictor
+// interface, typed sentinel errors (ErrCancelled, ErrNotFitted, …),
+// cancellable …Ctx variants of every long-running call, and the
+// versioned model Registry behind the cmd/lam-serve HTTP service. The
+// free functions below without a context are kept for compatibility;
+// new code should prefer the Ctx variants.
 package lam
 
 import (
@@ -91,12 +98,13 @@ func Machines() []string {
 	return names
 }
 
-// MachineByName returns a built-in machine preset.
+// MachineByName returns a built-in machine preset; unknown names wrap
+// ErrUnknownMachine.
 func MachineByName(name string) (*Machine, error) {
 	if m, ok := machine.Presets()[name]; ok {
 		return m, nil
 	}
-	return nil, fmt.Errorf("lam: unknown machine %q (have %v)", name, Machines())
+	return nil, fmt.Errorf("lam: %w: %q (have %v)", ErrUnknownMachine, name, Machines())
 }
 
 // BlueWaters returns the paper's experimental platform.
@@ -123,6 +131,9 @@ func AnalyticalModelFor(workload string, m *Machine) (AnalyticalModel, error) {
 }
 
 // TrainHybrid trains the paper's hybrid model on a training dataset.
+//
+// Deprecated: use TrainHybridCtx, which supports cancellation; this
+// wrapper is equivalent to TrainHybridCtx(context.Background(), …).
 func TrainHybrid(train *Dataset, am AnalyticalModel, cfg HybridConfig) (*HybridModel, error) {
 	return hybrid.Train(train, am, cfg)
 }
@@ -148,10 +159,16 @@ func NewDecisionTree(seed int64) Regressor {
 func MAPE(yTrue, yPred []float64) float64 { return ml.MAPE(yTrue, yPred) }
 
 // PredictBatch applies a fitted regressor to every row of X.
+//
+// Deprecated: use PredictBatchCtx, which supports cancellation and
+// returns typed errors instead of panicking on unfitted models.
 func PredictBatch(r Regressor, X [][]float64) []float64 { return ml.PredictBatch(r, X) }
 
 // Figure regenerates one of the paper's figures: "fig3a", "fig3b",
-// "fig5", "fig6", "fig7", "fig8".
+// "fig5", "fig6", "fig7", "fig8" (see EXPERIMENTS.md §Figures).
+//
+// Deprecated: use FigureCtx, which supports cancellation; this wrapper
+// is equivalent to FigureCtx(context.Background(), …).
 func Figure(id string, opts FigureOptions) (*Report, error) {
 	return experiments.Run(id, opts)
 }
@@ -162,6 +179,9 @@ func FigureIDs() []string { return experiments.AllFigureIDs() }
 // Figures regenerates several figures concurrently on the worker pool
 // and returns the reports in input order; the output matches len(ids)
 // sequential Figure calls exactly.
+//
+// Deprecated: use FiguresCtx, which supports cancellation; this
+// wrapper is equivalent to FiguresCtx(context.Background(), …).
 func Figures(ids []string, opts FigureOptions) ([]*Report, error) {
 	return experiments.RunMany(ids, opts)
 }
@@ -186,13 +206,18 @@ func SaveRegressor(w io.Writer, m Regressor) error { return ml.SaveModel(w, m) }
 func LoadRegressor(r io.Reader) (Regressor, error) { return ml.LoadModel(r) }
 
 // NoiseSensitivity runs the extension experiment sweeping simulator
-// noise levels (see EXPERIMENTS.md §Ablations).
+// noise levels (see EXPERIMENTS.md §Extensions).
+//
+// Deprecated: use NoiseSensitivityCtx, which supports cancellation.
 func NoiseSensitivity(opts FigureOptions, noiseLevels []float64) (*Report, error) {
 	return experiments.NoiseSensitivity(opts, noiseLevels)
 }
 
 // HardwareTransfer runs the extension experiment measuring accuracy per
-// re-measurement budget after a machine change.
+// re-measurement budget after a machine change (see EXPERIMENTS.md
+// §Extensions).
+//
+// Deprecated: use HardwareTransferCtx, which supports cancellation.
 func HardwareTransfer(opts FigureOptions, target *Machine, budgets []float64) (*Report, error) {
 	return experiments.HardwareTransfer(opts, target, budgets)
 }

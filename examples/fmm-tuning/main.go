@@ -2,21 +2,30 @@
 // governed by the particles-per-leaf q (P2P grows with q, M2L shrinks)
 // and the expansion order k (accuracy vs k⁶ cost). A hybrid model
 // trained on a modest sample picks (q, t) for a required order, and we
-// check its choice against the simulated truth.
+// check its choice against the simulated truth. Uses the context-first
+// v2 API with SIGINT cancellation, like the cmds; the (q, t) scan
+// scores through the cancellable batch path.
 //
 // Run with: go run ./examples/fmm-tuning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"lam"
 	"lam/internal/perfsim"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	m := lam.BlueWaters()
 	ds, err := lam.BuildDataset("fmm", m, 42)
 	if err != nil {
@@ -32,11 +41,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 11})
+	hy, err := lam.TrainHybridCtx(ctx, train, am, lam.HybridConfig{Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mape, err := hy.MAPE(test)
+	mape, err := hy.MAPECtx(ctx, test)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,40 +57,45 @@ func main() {
 	// time at the cheapest acceptable order.
 	const N, k = 16384, 6
 	sim := &perfsim.FMMSim{Machine: m, Seed: 42}
+	qs := []int{8, 16, 32, 64, 128, 256, 512}
 	type choice struct {
-		q, t      int
-		predicted float64
+		q, t int
 	}
-	best := choice{predicted: -1}
-	for _, q := range []int{8, 16, 32, 64, 128, 256, 512} {
+	var grid []choice
+	var batch [][]float64
+	for _, q := range qs {
 		for t := 1; t <= 16; t++ {
-			p, err := hy.Predict([]float64{float64(t), N, float64(q), k})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if best.predicted < 0 || p < best.predicted {
-				best = choice{q, t, p}
-			}
+			grid = append(grid, choice{q, t})
+			batch = append(batch, []float64{float64(t), N, float64(q), k})
 		}
 	}
+	preds, err := lam.HybridPredictor(hy).PredictBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	besti := 0
+	for i, p := range preds {
+		if p < preds[besti] {
+			besti = i
+		}
+	}
+	best := grid[besti]
 	actual, err := sim.Measure(perfsim.FMMWorkload{N: N, Q: best.q, K: k, Threads: best.t})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("model's pick for N=%d, k=%d: q=%d, t=%d (predicted %.4fs, actual %.4fs)\n",
-		N, k, best.q, best.t, best.predicted, actual)
+		N, k, best.q, best.t, preds[besti], actual)
 
 	// Exhaustive truth for comparison.
 	bestActual, bq, bt := -1.0, 0, 0
-	for _, q := range []int{8, 16, 32, 64, 128, 256, 512} {
-		for t := 1; t <= 16; t++ {
-			a, err := sim.Measure(perfsim.FMMWorkload{N: N, Q: q, K: k, Threads: t})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if bestActual < 0 || a < bestActual {
-				bestActual, bq, bt = a, q, t
-			}
+	for _, c := range grid {
+		a, err := sim.Measure(perfsim.FMMWorkload{N: N, Q: c.q, K: k, Threads: c.t})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bestActual < 0 || a < bestActual {
+			bestActual, bq, bt = a, c.q, c.t
 		}
 	}
 	fmt.Printf("true optimum:                q=%d, t=%d (%.4fs)\n", bq, bt, bestActual)

@@ -3,19 +3,27 @@
 // and workload changes". We simulate a machine swap: a model served
 // predictions on Blue Waters; the application moves to a Xeon node; how
 // much re-measurement does each approach need to become accurate again?
+// Uses the context-first v2 API with SIGINT cancellation, like the cmds.
 //
 // Run with: go run ./examples/hardware-change
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"lam"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	old, err := lam.MachineByName("bluewaters")
 	if err != nil {
 		log.Fatal(err)
@@ -50,16 +58,20 @@ func main() {
 		}
 
 		et := lam.NewExtraTrees(100, 3)
-		if err := et.Fit(train.X, train.Y); err != nil {
+		if err := lam.FitCtx(ctx, et, train.X, train.Y); err != nil {
 			log.Fatal(err)
 		}
-		etMAPE := lam.MAPE(test.Y, lam.PredictBatch(et, test.X))
-
-		hy, err := lam.TrainHybrid(train, amNew, lam.HybridConfig{Seed: 3})
+		etPred, err := lam.MLPredictor(et).PredictBatch(ctx, test.X)
 		if err != nil {
 			log.Fatal(err)
 		}
-		hyMAPE, err := hy.MAPE(test)
+		etMAPE := lam.MAPE(test.Y, etPred)
+
+		hy, err := lam.TrainHybridCtx(ctx, train, amNew, lam.HybridConfig{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hyMAPE, err := hy.MAPECtx(ctx, test)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,22 +3,30 @@
 // gather a training dataset or rebuild the model for every prediction."
 // This example trains a hybrid model, serialises it to disk, reloads it
 // in a fresh "deployment" step, and verifies the predictions survive the
-// round trip bit-for-bit.
+// round trip bit-for-bit — the reloaded artifact decodes straight into
+// the compiled flat node tables the serving layer runs on. Uses the
+// context-first v2 API with SIGINT cancellation, like the cmds.
 //
 // Run with: go run ./examples/offline-model
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"lam"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	m := lam.BlueWaters()
 	ds, err := lam.BuildDataset("fmm", m, 42)
 	if err != nil {
@@ -35,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 5})
+	hy, err := lam.TrainHybridCtx(ctx, train, am, lam.HybridConfig{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,19 +75,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mape, err := loaded.MAPE(test)
+	mape, err := loaded.MAPECtx(ctx, test)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("deployment: held-out MAPE of the reloaded model: %.1f%%\n", mape)
 
-	// The round trip must be exact.
+	// The round trip must be exact; both models serve through the
+	// unified v2 Predictor interface.
+	orig, dep := lam.HybridPredictor(hy), lam.HybridPredictor(loaded)
 	for i := 0; i < 5; i++ {
-		a, err := hy.Predict(test.X[i])
+		a, err := orig.Predict(ctx, test.X[i])
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := loaded.Predict(test.X[i])
+		b, err := dep.Predict(ctx, test.X[i])
 		if err != nil {
 			log.Fatal(err)
 		}

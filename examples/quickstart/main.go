@@ -1,18 +1,29 @@
 // Quickstart: train the paper's hybrid model on 2% of a stencil
 // dataset and compare it against pure ML and the raw analytical model.
+// Uses the context-first v2 API throughout: ^C cancels the training
+// and batch predictions promptly, like the cmds.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"lam"
 )
 
 func main() {
+	// ^C / SIGTERM cancel every lam call below at the next unit
+	// boundary (tree fit, prediction block).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// 1. The simulated platform: the paper's Blue Waters XE6 node.
 	m := lam.BlueWaters()
 
@@ -37,27 +48,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	amMAPE, err := lam.AnalyticalMAPE(test, am)
+	amMAPE, err := lam.AnalyticalMAPECtx(ctx, test, am)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 5. Train the hybrid (stacked analytical + extra trees) model.
-	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 7})
+	hy, err := lam.TrainHybridCtx(ctx, train, am, lam.HybridConfig{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hyMAPE, err := hy.MAPE(test)
+	hyMAPE, err := hy.MAPECtx(ctx, test)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 6. Baseline: pure extra trees on the same tiny training set.
+	// 6. Baseline: pure extra trees on the same tiny training set,
+	//    scored through the unified v2 Predictor interface.
 	et := lam.NewExtraTrees(100, 7)
-	if err := et.Fit(train.X, train.Y); err != nil {
+	if err := lam.FitCtx(ctx, et, train.X, train.Y); err != nil {
 		log.Fatal(err)
 	}
-	etMAPE := lam.MAPE(test.Y, lam.PredictBatch(et, test.X))
+	etPred, err := lam.MLPredictor(et).PredictBatch(ctx, test.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	etMAPE := lam.MAPE(test.Y, etPred)
 
 	fmt.Printf("\nheld-out MAPE:\n")
 	fmt.Printf("  analytical model alone : %6.2f%%\n", amMAPE)
@@ -66,7 +82,7 @@ func main() {
 
 	// 7. Predict a configuration that was never measured.
 	x := []float64{192, 160, 224}
-	p, err := hy.Predict(x)
+	p, err := lam.HybridPredictor(hy).Predict(ctx, x)
 	if err != nil {
 		log.Fatal(err)
 	}

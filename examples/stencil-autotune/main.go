@@ -2,22 +2,31 @@
 // pick loop-block sizes for a stencil without measuring every
 // configuration. A hybrid model trained on 2% of the space ranks all
 // block-size candidates for a target grid; we compare its choice with
-// the true optimum.
+// the true optimum. Uses the context-first v2 API with SIGINT
+// cancellation, like the cmds; the candidate scan scores through the
+// allocation-free compiled batch path.
 //
 // Run with: go run ./examples/stencil-autotune
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"lam"
 	"lam/internal/perfsim"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	m := lam.BlueWaters()
 	ds, err := lam.BuildDataset("stencil-blocking", m, 42)
 	if err != nil {
@@ -35,13 +44,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hy, err := lam.TrainHybrid(train, am, lam.HybridConfig{Seed: 3})
+	hy, err := lam.TrainHybridCtx(ctx, train, am, lam.HybridConfig{Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained hybrid model on %d of %d configurations\n\n", train.Len(), ds.Len())
 
-	// Rank every block-size candidate for a target grid.
+	// Rank every block-size candidate for a target grid: build the
+	// candidate matrix, score it in one cancellable batch.
 	const J, K = 96, 112
 	type cand struct {
 		bj, bk    int
@@ -50,21 +60,25 @@ func main() {
 	}
 	sim := &perfsim.StencilSim{Machine: m, Seed: 42}
 	var cands []cand
+	var batch [][]float64
 	for _, bj := range blockCandidates(J) {
 		for _, bk := range blockCandidates(K) {
-			x := []float64{1, J, K, 1, float64(bj), float64(bk)}
-			p, err := hy.Predict(x)
-			if err != nil {
-				log.Fatal(err)
-			}
+			batch = append(batch, []float64{1, J, K, 1, float64(bj), float64(bk)})
 			actual, err := sim.Measure(perfsim.StencilWorkload{
 				I: 1, J: J, K: K, TI: 1, TJ: bj, TK: bk,
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			cands = append(cands, cand{bj, bk, p, actual})
+			cands = append(cands, cand{bj: bj, bk: bk, actual: actual})
 		}
+	}
+	preds, err := lam.HybridPredictor(hy).PredictBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range cands {
+		cands[i].predicted = preds[i]
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].predicted < cands[b].predicted })
 

@@ -44,6 +44,13 @@ func (m *mlTrainable) Predict(x []float64) (float64, error) {
 	return m.model.Predict(x), nil
 }
 
+// PredictBatchInto implements the sweep's allocation-free fast path;
+// rows are scored sequentially (the trials themselves fan out on the
+// worker pool).
+func (m *mlTrainable) PredictBatchInto(X [][]float64, out []float64) error {
+	return ml.PredictBatchInto(m.model, X, out, 1)
+}
+
 // hybridTrainable wraps hybrid.Train.
 type hybridTrainable struct {
 	am    hybrid.AnalyticalModel
@@ -71,6 +78,11 @@ func (h *hybridTrainable) Fit(train *dataset.Dataset) error {
 
 func (h *hybridTrainable) Predict(x []float64) (float64, error) {
 	return h.model.Predict(x)
+}
+
+// PredictBatchInto implements the sweep's allocation-free fast path.
+func (h *hybridTrainable) PredictBatchInto(X [][]float64, out []float64) error {
+	return h.model.PredictBatchIntoCtx(context.Background(), X, out)
 }
 
 // Series is one MAPE-vs-training-fraction curve: the content of one
@@ -131,13 +143,26 @@ func MAPECurveCtx(ctx context.Context, ds *dataset.Dataset, newModel func(seed i
 		if err := m.Fit(train); err != nil {
 			return fmt.Errorf("experiments: fit at fraction %v rep %d: %w", frac, r, err)
 		}
-		pred := make([]float64, test.Len())
-		for i, x := range test.X {
-			p, err := m.Predict(x)
-			if err != nil {
+		// Score the held-out rows through the compiled Into path when
+		// the model exposes it (both wrappers above do), with a pooled
+		// buffer — the sweep's eval loop allocates nothing per trial.
+		buf := ml.GetScratch(test.Len())
+		defer ml.PutScratch(buf)
+		pred := *buf
+		if bp, ok := m.(interface {
+			PredictBatchInto(X [][]float64, out []float64) error
+		}); ok {
+			if err := bp.PredictBatchInto(test.X, pred); err != nil {
 				return err
 			}
-			pred[i] = p
+		} else {
+			for i, x := range test.X {
+				p, err := m.Predict(x)
+				if err != nil {
+					return err
+				}
+				pred[i] = p
+			}
 		}
 		scores[u] = ml.MAPE(test.Y, pred)
 		return nil

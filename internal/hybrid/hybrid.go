@@ -208,10 +208,14 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	var stacked float64
 	switch m.cfg.Mode {
 	case StackMode:
-		aug := make([]float64, len(x)+1)
+		// The augmented vector lives in pooled scratch: the serve hot
+		// path calls Predict per row and must not allocate per row.
+		buf := ml.GetScratch(len(x) + 1)
+		aug := *buf
 		copy(aug, x)
 		aug[len(x)] = amP
 		stacked = m.mlModel.Predict(aug)
+		ml.PutScratch(buf)
 	case ResidualMode:
 		stacked = amP + m.mlModel.Predict(x)
 	case RatioMode:
@@ -251,11 +255,72 @@ func (m *Model) PredictBatch(ds *dataset.Dataset) ([]float64, error) {
 // sequential Predict calls, which is what lets the serving layer in
 // internal/serve answer requests bit-identical to library calls.
 func (m *Model) PredictBatchCtx(ctx context.Context, X [][]float64) ([]float64, error) {
-	if !m.IsFitted() {
-		return nil, fmt.Errorf("hybrid: %w", lamerr.ErrNotFitted)
-	}
 	out := make([]float64, len(X))
-	err := parallel.ForCtx(ctx, len(X), m.cfg.Workers, func(i int) error {
+	if err := m.PredictBatchIntoCtx(ctx, X, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// intoBlock is the row count between context polls on the sequential
+// Into path.
+const intoBlock = 256
+
+// PredictBatchIntoCtx scores every row of X into out (which must have
+// len(X) elements) with prompt cancellation between rows: the
+// allocation-free serving path behind registry batch prediction and
+// lam-serve. With Workers == 1 the loop runs inline and — given an
+// allocation-free analytical model — performs zero steady-state
+// allocations per row: the stacked feature vector and the ML
+// pipeline's scaled row both come from pooled scratch.
+func (m *Model) PredictBatchIntoCtx(ctx context.Context, X [][]float64, out []float64) error {
+	if !m.IsFitted() {
+		return fmt.Errorf("hybrid: %w", lamerr.ErrNotFitted)
+	}
+	if len(out) != len(X) {
+		return fmt.Errorf("hybrid: %w: output slice holds %d values for %d rows",
+			lamerr.ErrDimension, len(out), len(X))
+	}
+	// The sequential branch mirrors ml.PredictBatchIntoCtx's inline
+	// block loop rather than sharing a helper: a closure-taking helper
+	// would cost one heap allocation per call, breaking the hard
+	// zero-allocation assertions the serve tests make on this path.
+	if parallel.Resolve(m.cfg.Workers, len(X)) == 1 {
+		if ctx == nil || ctx.Done() == nil {
+			for i, x := range X {
+				p, err := m.Predict(x)
+				if err != nil {
+					return err
+				}
+				out[i] = p
+			}
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return parallel.Cancelled(err)
+		}
+		done := ctx.Done()
+		for lo := 0; lo < len(X); lo += intoBlock {
+			select {
+			case <-done:
+				return parallel.Cancelled(ctx.Err())
+			default:
+			}
+			hi := lo + intoBlock
+			if hi > len(X) {
+				hi = len(X)
+			}
+			for i := lo; i < hi; i++ {
+				p, err := m.Predict(X[i])
+				if err != nil {
+					return err
+				}
+				out[i] = p
+			}
+		}
+		return nil
+	}
+	return parallel.ForCtx(ctx, len(X), m.cfg.Workers, func(i int) error {
 		p, err := m.Predict(X[i])
 		if err != nil {
 			return err
@@ -263,10 +328,6 @@ func (m *Model) PredictBatchCtx(ctx context.Context, X [][]float64) ([]float64, 
 		out[i] = p
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // MAPE evaluates the trained model on a held-out dataset and returns
@@ -275,13 +336,16 @@ func (m *Model) MAPE(test *dataset.Dataset) (float64, error) {
 	return m.MAPECtx(context.Background(), test)
 }
 
-// MAPECtx is MAPE with prompt cancellation between test rows.
+// MAPECtx is MAPE with prompt cancellation between test rows. The
+// prediction buffer is pooled, so repeated sweep evaluations do not
+// allocate per call.
 func (m *Model) MAPECtx(ctx context.Context, test *dataset.Dataset) (float64, error) {
-	pred, err := m.PredictBatchCtx(ctx, test.X)
-	if err != nil {
+	buf := ml.GetScratch(test.Len())
+	defer ml.PutScratch(buf)
+	if err := m.PredictBatchIntoCtx(ctx, test.X, *buf); err != nil {
 		return 0, err
 	}
-	return ml.MAPE(test.Y, pred), nil
+	return ml.MAPE(test.Y, *buf), nil
 }
 
 // AnalyticalMAPE scores the analytical model alone on a dataset — the
@@ -292,9 +356,11 @@ func AnalyticalMAPE(ds *dataset.Dataset, am AnalyticalModel) (float64, error) {
 }
 
 // AnalyticalMAPECtx is AnalyticalMAPE with prompt cancellation between
-// rows.
+// rows; the prediction buffer is pooled.
 func AnalyticalMAPECtx(ctx context.Context, ds *dataset.Dataset, am AnalyticalModel) (float64, error) {
-	pred := make([]float64, ds.Len())
+	buf := ml.GetScratch(ds.Len())
+	defer ml.PutScratch(buf)
+	pred := *buf
 	err := parallel.ForCtx(ctx, ds.Len(), 0, func(i int) error {
 		p, err := am.Predict(ds.X[i])
 		if err != nil {

@@ -3,6 +3,7 @@ package ml
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"lam/internal/parallel"
@@ -32,6 +33,11 @@ type Bagging struct {
 	Workers int
 
 	models []Regressor
+	// compiled is the fused flat node table when every base model is a
+	// plain DecisionTree (the common configuration); nil otherwise, in
+	// which case prediction loops over the members — whose own Predict
+	// paths are compiled anyway for every tree-based estimator.
+	compiled *CompiledEnsemble
 }
 
 // Fit trains the ensemble on bootstrap resamples of (X, y).
@@ -82,13 +88,35 @@ func (b *Bagging) FitCtx(ctx context.Context, X [][]float64, y []float64) error 
 		return err
 	}
 	b.models = models
+	b.compiled = compileBaggedTrees(models)
 	return nil
+}
+
+// compileBaggedTrees fuses the members into one shared node table when
+// every base model is a DecisionTree; the mean combine is bit-identical
+// to summing member Predict calls in order.
+func compileBaggedTrees(models []Regressor) *CompiledEnsemble {
+	trees := make([]*DecisionTree, len(models))
+	for i, m := range models {
+		t, ok := m.(*DecisionTree)
+		if !ok {
+			return nil
+		}
+		trees[i] = t
+	}
+	return compileMeanEnsemble(trees)
 }
 
 // Predict returns the mean prediction of the ensemble.
 func (b *Bagging) Predict(x []float64) float64 {
 	if len(b.models) == 0 {
 		panic("ml: Bagging.Predict called before Fit")
+	}
+	if b.compiled != nil {
+		if want := b.NumFeatures(); want > 0 && len(x) != want {
+			panic(fmt.Sprintf("ml: Bagging.Predict got %d features, want %d", len(x), want))
+		}
+		return b.compiled.Predict(x)
 	}
 	s := 0.0
 	for _, m := range b.models {
@@ -101,7 +129,48 @@ func (b *Bagging) Predict(x []float64) float64 {
 // member contributions are summed in member order, so the output
 // matches sequential Predict calls exactly.
 func (b *Bagging) PredictBatch(X [][]float64) []float64 {
-	return PredictBatchWorkers(b, X, b.Workers)
+	if len(b.models) == 0 {
+		panic("ml: Bagging.PredictBatch called before Fit")
+	}
+	if want := b.NumFeatures(); want > 0 {
+		for _, x := range X {
+			if len(x) != want {
+				panic(fmt.Sprintf("ml: Bagging.PredictBatch got %d features, want %d", len(x), want))
+			}
+		}
+	}
+	out := make([]float64, len(X))
+	b.predictBatchInto(X, out)
+	return out
+}
+
+// PredictBatchInto scores every row of X into out (which must have
+// len(X) elements) with no allocations beyond the pool's block
+// dispatch — none at all with Workers == 1 and tree bases.
+func (b *Bagging) PredictBatchInto(X [][]float64, out []float64) error {
+	if err := checkInto(b, X, out); err != nil {
+		return err
+	}
+	b.predictBatchInto(X, out)
+	return nil
+}
+
+// predictBatchInto routes through the shared dispatching core, which
+// lands on predictBatchIntoSeq block by block.
+func (b *Bagging) predictBatchInto(X [][]float64, out []float64) {
+	predictBatchInto(b, X, out, b.Workers)
+}
+
+// predictBatchIntoSeq implements the compiled plane's sequential block
+// contract: the fused node table's cache-blocked walk when every base
+// is a tree, a per-row member loop otherwise (the members' own Predict
+// paths are compiled anyway).
+func (b *Bagging) predictBatchIntoSeq(X [][]float64, out []float64) {
+	if b.compiled != nil {
+		b.compiled.PredictBatchInto(X, out)
+		return
+	}
+	predictRows(b, X, out)
 }
 
 // NumModels returns the number of fitted base models.

@@ -1,0 +1,329 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// The compiled inference plane. Fitted trees are stored as contiguous
+// structure-of-arrays node tables — the same flat form the persistence
+// layer has always serialised — instead of per-node heap objects, and
+// traversal is an iterative index walk instead of pointer chasing. The
+// layout is preorder (a node's left child immediately follows it), so a
+// root-to-leaf walk touches a mostly ascending address sequence and an
+// ensemble's whole node table lives in a handful of cache lines per
+// tree. Every tree-based estimator (DecisionTree, Forest, Bagging over
+// tree bases, GradientBoosting) compiles at Fit/load time; there is no
+// pointer-tree runtime representation left.
+//
+// Predictions are bit-identical to the recursive form: the node
+// ordering, thresholds and comparison directions are unchanged, only
+// the storage differs (asserted exhaustively by TestCompiledEquivalence
+// in compiled_test.go).
+
+// CompiledTree is one regression tree flattened onto parallel arrays.
+// Leaves have feature[i] < 0; internal nodes satisfy left[i] > i and
+// right[i] > i (preorder), which both guarantees traversal terminates
+// and keeps walks cache-friendly. The zero value is an empty (unfitted)
+// tree.
+type CompiledTree struct {
+	feature   []int32
+	threshold []float64
+	value     []float64
+	left      []int32
+	right     []int32
+	// nSamples is the training-sample count per node — diagnostic
+	// state carried for the persistence round trip, never read on the
+	// prediction hot path.
+	nSamples []int32
+}
+
+// Len returns the number of nodes.
+func (c *CompiledTree) Len() int { return len(c.feature) }
+
+// grow appends a leaf node and returns its index.
+func (c *CompiledTree) grow(value float64, n int) int32 {
+	idx := int32(len(c.feature))
+	c.feature = append(c.feature, -1)
+	c.threshold = append(c.threshold, 0)
+	c.value = append(c.value, value)
+	c.left = append(c.left, -1)
+	c.right = append(c.right, -1)
+	c.nSamples = append(c.nSamples, int32(n))
+	return idx
+}
+
+// split turns the leaf at idx into an internal node.
+func (c *CompiledTree) split(idx int32, feature int, threshold float64, left, right int32) {
+	c.feature[idx] = int32(feature)
+	c.threshold[idx] = threshold
+	c.left[idx] = left
+	c.right[idx] = right
+}
+
+// Predict walks the tree iteratively from the root. The caller
+// guarantees x has the arity the tree was fitted on (the estimator
+// wrappers check). Allocation-free.
+func (c *CompiledTree) Predict(x []float64) float64 { return c.predictFrom(0, x) }
+
+// predictFrom walks one tree of a (possibly concatenated) node table
+// starting at root. The slice headers are hoisted into locals so the
+// loop reloads nothing through the receiver.
+func (c *CompiledTree) predictFrom(root int32, x []float64) float64 {
+	feature, threshold := c.feature, c.threshold
+	left, right := c.left, c.right
+	i := root
+	for {
+		f := feature[i]
+		if f < 0 {
+			return c.value[i]
+		}
+		if x[f] <= threshold[i] {
+			i = left[i]
+		} else {
+			i = right[i]
+		}
+	}
+}
+
+// depth returns the tree depth (a lone leaf has depth 1) by one linear
+// pass: preorder guarantees parents precede children, so each node's
+// depth is known when its children are visited.
+func (c *CompiledTree) depth() int {
+	n := len(c.feature)
+	if n == 0 {
+		return 0
+	}
+	depths := make([]int32, n)
+	depths[0] = 1
+	max := int32(1)
+	for i := 0; i < n; i++ {
+		if c.feature[i] < 0 {
+			continue
+		}
+		d := depths[i] + 1
+		depths[c.left[i]] = d
+		depths[c.right[i]] = d
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// numLeaves counts the leaf nodes.
+func (c *CompiledTree) numLeaves() int {
+	n := 0
+	for _, f := range c.feature {
+		if f < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// validate checks the structural invariants a deserialised node table
+// must satisfy: every internal node's children exist and follow it
+// (which rules out cycles), and values are finite indices. It accepts
+// exactly the tables the builder and the persistence layer produce.
+func (c *CompiledTree) validate() error {
+	n := len(c.feature)
+	if n == 0 {
+		return fmt.Errorf("ml: corrupt tree: empty node list")
+	}
+	if len(c.threshold) != n || len(c.value) != n || len(c.left) != n || len(c.right) != n {
+		return fmt.Errorf("ml: corrupt tree: ragged node arrays")
+	}
+	for i := 0; i < n; i++ {
+		if c.feature[i] < 0 {
+			continue // leaf; child indices are ignored
+		}
+		l, r := c.left[i], c.right[i]
+		if l <= int32(i) || r <= int32(i) || int(l) >= n || int(r) >= n {
+			return fmt.Errorf("ml: corrupt tree: internal node %d has children (%d, %d) outside (%d, %d)", i, l, r, i, n)
+		}
+	}
+	return nil
+}
+
+// ensembleCombine selects how a compiled ensemble folds its member
+// trees' outputs into one prediction.
+type ensembleCombine int
+
+const (
+	// combineMean averages the member predictions in tree order —
+	// forests and bagged trees.
+	combineMean ensembleCombine = iota
+	// combineBoosted sums init + rate·treeᵢ(x) in stage order —
+	// gradient boosting.
+	combineBoosted
+)
+
+// CompiledEnsemble is a whole tree ensemble flattened onto one shared
+// contiguous node table: every member tree's nodes are concatenated
+// (each tree preorder-contiguous) with per-tree root offsets, so batch
+// scoring streams through one allocation-free memory region instead of
+// hopping between per-tree heaps.
+type CompiledEnsemble struct {
+	nodes   CompiledTree
+	roots   []int32
+	combine ensembleCombine
+	// init and rate are the boosting constants (combineBoosted only).
+	init, rate float64
+}
+
+// NumTrees returns the number of member trees.
+func (e *CompiledEnsemble) NumTrees() int { return len(e.roots) }
+
+// NumNodes returns the total node count across all members.
+func (e *CompiledEnsemble) NumNodes() int { return e.nodes.Len() }
+
+// appendTree copies one compiled tree into the shared node table,
+// rebasing its child indices, and records its root.
+func (e *CompiledEnsemble) appendTree(t *CompiledTree) {
+	base := int32(e.nodes.Len())
+	e.roots = append(e.roots, base)
+	e.nodes.feature = append(e.nodes.feature, t.feature...)
+	e.nodes.threshold = append(e.nodes.threshold, t.threshold...)
+	e.nodes.value = append(e.nodes.value, t.value...)
+	for _, l := range t.left {
+		if l >= 0 {
+			l += base
+		}
+		e.nodes.left = append(e.nodes.left, l)
+	}
+	for _, r := range t.right {
+		if r >= 0 {
+			r += base
+		}
+		e.nodes.right = append(e.nodes.right, r)
+	}
+}
+
+// compileMeanEnsemble concatenates fitted trees into a mean-combining
+// ensemble (forests, bagged trees).
+func compileMeanEnsemble(trees []*DecisionTree) *CompiledEnsemble {
+	e := &CompiledEnsemble{combine: combineMean}
+	for _, t := range trees {
+		e.appendTree(&t.nodes)
+	}
+	return e
+}
+
+// compileBoostedEnsemble concatenates boosting stages with their
+// shrinkage constants.
+func compileBoostedEnsemble(stages []*DecisionTree, init, rate float64) *CompiledEnsemble {
+	e := &CompiledEnsemble{combine: combineBoosted, init: init, rate: rate}
+	for _, t := range stages {
+		e.appendTree(&t.nodes)
+	}
+	return e
+}
+
+// Predict scores one feature vector, folding the member trees in
+// order. Bit-identical to summing the members' individual predictions
+// the way the estimators' recursive implementations did:
+// mean = (t₀+t₁+…)/n, boosted = init + rate·t₀ + rate·t₁ + ….
+// Allocation-free.
+func (e *CompiledEnsemble) Predict(x []float64) float64 {
+	switch e.combine {
+	case combineBoosted:
+		out := e.init
+		for _, r := range e.roots {
+			out += e.rate * e.nodes.predictFrom(r, x)
+		}
+		return out
+	default:
+		s := 0.0
+		for _, r := range e.roots {
+			s += e.nodes.predictFrom(r, x)
+		}
+		return s / float64(len(e.roots))
+	}
+}
+
+// PredictInto scores one feature vector per member prefix: out[i] is
+// the prediction using trees [0, i] — the staged-prediction primitive.
+// out must have NumTrees elements. Allocation-free.
+func (e *CompiledEnsemble) PredictInto(x []float64, out []float64) {
+	switch e.combine {
+	case combineBoosted:
+		acc := e.init
+		for i, r := range e.roots {
+			acc += e.rate * e.nodes.predictFrom(r, x)
+			out[i] = acc
+		}
+	default:
+		s := 0.0
+		for i, r := range e.roots {
+			s += e.nodes.predictFrom(r, x)
+			out[i] = s / float64(i+1)
+		}
+	}
+}
+
+// batchTreeMajorMinNodes is the node-table size above which batch
+// scoring switches from row-major to tree-major traversal. Small
+// ensembles (shallow boosting stages) fit in L1/L2 whole, and
+// row-major keeps the accumulator in a register; large forests blow
+// the cache per row, and tree-major keeps one tree's nodes hot across
+// the whole block instead. Either order is bit-identical (see below),
+// so the cutoff is purely a performance knob.
+const batchTreeMajorMinNodes = 4096
+
+// PredictBatchInto scores every row of X into out sequentially with
+// zero allocations; out must have len(X) elements. For large node
+// tables the traversal is tree-major — the outer loop walks trees, the
+// inner loop rows — so one tree's nodes stay cache-hot across the
+// whole block instead of the entire ensemble being re-streamed per
+// row. Each out[i] still accumulates its tree contributions in tree
+// order, so the result is bit-identical to per-row Predict calls.
+// Parallel batch scoring lives in the estimators
+// (Forest.PredictBatchInto and friends), which block-split over this
+// walk.
+func (e *CompiledEnsemble) PredictBatchInto(X [][]float64, out []float64) {
+	out = out[:len(X)]
+	if e.nodes.Len() < batchTreeMajorMinNodes {
+		for i, x := range X {
+			out[i] = e.Predict(x)
+		}
+		return
+	}
+	switch e.combine {
+	case combineBoosted:
+		for i := range out {
+			out[i] = e.init
+		}
+		for _, r := range e.roots {
+			for i, x := range X {
+				out[i] += e.rate * e.nodes.predictFrom(r, x)
+			}
+		}
+	default:
+		for i := range out {
+			out[i] = 0
+		}
+		for _, r := range e.roots {
+			for i, x := range X {
+				out[i] += e.nodes.predictFrom(r, x)
+			}
+		}
+		n := float64(len(e.roots))
+		for i := range out {
+			out[i] /= n
+		}
+	}
+}
+
+// MeanAbs returns the mean absolute leaf value across the table — a
+// cheap structural fingerprint used by tests; NaN for empty ensembles.
+func (e *CompiledEnsemble) MeanAbs() float64 {
+	if e.nodes.Len() == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range e.nodes.value {
+		s += math.Abs(v)
+	}
+	return s / float64(e.nodes.Len())
+}

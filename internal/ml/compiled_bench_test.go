@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Before/after pairs for the compiled inference plane: the "recursive"
+// variants rebuild the pre-refactor pointer-tree representation (see
+// refNode in compiled_test.go) and walk it the way the estimators used
+// to; the "compiled" variants run the flat node-table plane the
+// estimators now use. Run with:
+//
+//	go test ./internal/ml -bench 'PredictBatch|PredictSingle' -benchmem
+func benchSetup(b *testing.B, n int) ([][]float64, []float64, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	X, y := randomRegression(rng, n, 6)
+	Xq, _ := randomRegression(rng, 512, 6)
+	return X, y, Xq
+}
+
+// BenchmarkForestPredictBatch scores 512 rows with a 100-tree extra
+// trees ensemble, sequentially (workers 1), so the pair isolates
+// traversal cost from pool parallelism.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	X, y, Xq := benchSetup(b, 400)
+	f := &Forest{NTrees: 100, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 7, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	refs := make([]*refNode, len(f.trees))
+	for i, t := range f.trees {
+		refs[i] = refTree(&t.nodes)
+	}
+	out := make([]float64, len(Xq))
+
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r, x := range Xq {
+				out[r] = refForestPredict(refs, x)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := f.PredictBatchInto(Xq, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGBRPredictBatch is the same pair for a 100-stage booster.
+func BenchmarkGBRPredictBatch(b *testing.B) {
+	X, y, Xq := benchSetup(b, 400)
+	g := &GradientBoosting{NStages: 100, Seed: 7, Workers: 1}
+	if err := g.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	refs := make([]*refNode, len(g.stages))
+	for i, t := range g.stages {
+		refs[i] = refTree(&t.nodes)
+	}
+	out := make([]float64, len(Xq))
+
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r, x := range Xq {
+				out[r] = refBoostedPredict(refs, g.init, g.rate, x)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := g.PredictBatchInto(Xq, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTreePredictSingle pairs one deep tree's single-vector
+// latency: pointer chase vs index walk.
+func BenchmarkTreePredictSingle(b *testing.B) {
+	X, y, Xq := benchSetup(b, 4000)
+	tr := NewDecisionTree(TreeConfig{Seed: 3})
+	if err := tr.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	ref := refTree(&tr.nodes)
+	x := Xq[0]
+
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ref.predict(x)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tr.Predict(x)
+		}
+	})
+}

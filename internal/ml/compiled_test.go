@@ -1,0 +1,439 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The legacy pointer-tree representation, retained here as the
+// executable specification of tree traversal: before the compiled
+// inference plane, fitted trees were heap-allocated refNode graphs
+// walked exactly like refNode.predict below. The equivalence tests
+// rebuild that form from the compiled node tables and assert the two
+// traversals agree bit for bit; the benchmarks in
+// compiled_bench_test.go use it as the recursive baseline.
+
+type refNode struct {
+	feature   int
+	threshold float64
+	value     float64
+	left      *refNode
+	right     *refNode
+}
+
+func (n *refNode) predict(x []float64) float64 {
+	if n.feature < 0 {
+		return n.value
+	}
+	if x[n.feature] <= n.threshold {
+		return n.left.predict(x)
+	}
+	return n.right.predict(x)
+}
+
+// refTree rebuilds the pointer form of a compiled node table.
+func refTree(c *CompiledTree) *refNode { return buildRef(c, 0) }
+
+func buildRef(c *CompiledTree, i int32) *refNode {
+	n := &refNode{feature: int(c.feature[i]), threshold: c.threshold[i], value: c.value[i]}
+	if c.feature[i] >= 0 {
+		n.left = buildRef(c, c.left[i])
+		n.right = buildRef(c, c.right[i])
+	}
+	return n
+}
+
+// refForestPredict is the pre-refactor Forest.Predict: per-tree
+// recursive walks summed in tree order, then averaged.
+func refForestPredict(trees []*refNode, x []float64) float64 {
+	s := 0.0
+	for _, t := range trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(trees))
+}
+
+// refBoostedPredict is the pre-refactor GradientBoosting.Predict.
+func refBoostedPredict(stages []*refNode, init, rate float64, x []float64) float64 {
+	out := init
+	for _, t := range stages {
+		out += rate * t.predict(x)
+	}
+	return out
+}
+
+// refStagedPredict is the pre-refactor GradientBoosting.StagedPredict.
+func refStagedPredict(stages []*refNode, init, rate float64, x []float64) []float64 {
+	out := make([]float64, len(stages))
+	acc := init
+	for i, t := range stages {
+		acc += rate * t.predict(x)
+		out[i] = acc
+	}
+	return out
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// randomRegression draws a dataset with deliberately coarse feature
+// values (ties matter: equal values exercise the can't-split-between-
+// equal-values branches) and a noisy nonlinear response.
+func randomRegression(rng *rand.Rand, n, p int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, p)
+		for j := range X[i] {
+			X[i][j] = math.Round(rng.NormFloat64()*8) / 4
+		}
+		y[i] = math.Sin(X[i][0]) + 0.5*X[i][p-1] + rng.NormFloat64()*0.2
+	}
+	return X, y
+}
+
+func randomTreeConfig(rng *rand.Rand) TreeConfig {
+	return TreeConfig{
+		MaxDepth:        rng.Intn(8), // 0 = unlimited
+		MinSamplesSplit: rng.Intn(8), // < 2 normalises to 2
+		MinSamplesLeaf:  rng.Intn(5), // < 1 normalises to 1
+		MaxFeatures:     rng.Intn(7), // 0 = all; may exceed p
+		Splitter:        Splitter(rng.Intn(2)),
+		Seed:            rng.Int63(),
+	}
+}
+
+// TestCompiledEquivalence is the property test of the compiled
+// inference plane: across random tree configurations and random
+// datasets, the compiled iterative traversal must produce bit-identical
+// predictions to the legacy recursive pointer walk — single vector,
+// batch, Into-batch, and staged — for every tree-based estimator.
+func TestCompiledEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1ab))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(170)
+		p := 1 + rng.Intn(6)
+		X, y := randomRegression(rng, n, p)
+		Xq, _ := randomRegression(rng, 64, p)
+		cfg := randomTreeConfig(rng)
+
+		t.Run("", func(t *testing.T) {
+			// Single tree.
+			tree := NewDecisionTree(cfg)
+			if err := tree.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			ref := refTree(&tree.nodes)
+			for _, x := range Xq {
+				if got, want := tree.Predict(x), ref.predict(x); !sameBits(got, want) {
+					t.Fatalf("tree: compiled %x != recursive %x (cfg %+v)", got, want, cfg)
+				}
+			}
+
+			// Forest (random bootstrap choice).
+			f := &Forest{NTrees: 2 + rng.Intn(8), Tree: cfg, Bootstrap: rng.Intn(2) == 0, Seed: rng.Int63()}
+			if err := f.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			refs := make([]*refNode, len(f.trees))
+			for i, tr := range f.trees {
+				refs[i] = refTree(&tr.nodes)
+			}
+			batch := f.PredictBatch(Xq)
+			into := make([]float64, len(Xq))
+			if err := f.PredictBatchInto(Xq, into); err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range Xq {
+				want := refForestPredict(refs, x)
+				if got := f.Predict(x); !sameBits(got, want) {
+					t.Fatalf("forest: compiled %x != recursive %x", got, want)
+				}
+				if !sameBits(batch[i], want) || !sameBits(into[i], want) {
+					t.Fatalf("forest batch row %d: batch %x into %x want %x", i, batch[i], into[i], want)
+				}
+			}
+
+			// Gradient boosting (staged too).
+			g := &GradientBoosting{NStages: 2 + rng.Intn(10), MaxDepth: 1 + rng.Intn(4),
+				Subsample: 0.5 + rng.Float64()/2, Seed: rng.Int63()}
+			if err := g.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			grefs := make([]*refNode, len(g.stages))
+			for i, tr := range g.stages {
+				grefs[i] = refTree(&tr.nodes)
+			}
+			for _, x := range Xq {
+				wantStaged := refStagedPredict(grefs, g.init, g.rate, x)
+				gotStaged := g.StagedPredict(x)
+				for i := range wantStaged {
+					if !sameBits(gotStaged[i], wantStaged[i]) {
+						t.Fatalf("gbr stage %d: compiled %x != recursive %x", i, gotStaged[i], wantStaged[i])
+					}
+				}
+				if got, want := g.Predict(x), wantStaged[len(wantStaged)-1]; !sameBits(got, want) {
+					t.Fatalf("gbr: compiled %x != recursive %x", got, want)
+				}
+			}
+
+			// Bagging over tree bases uses the fused table.
+			bag := &Bagging{
+				NewBase: func() Regressor { return NewDecisionTree(cfg) },
+				N:       2 + rng.Intn(6), Seed: rng.Int63(),
+			}
+			if err := bag.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			if bag.compiled == nil {
+				t.Fatal("bagging over DecisionTree bases should compile a fused ensemble")
+			}
+			brefs := make([]*refNode, len(bag.models))
+			for i, m := range bag.models {
+				brefs[i] = refTree(&m.(*DecisionTree).nodes)
+			}
+			for _, x := range Xq {
+				if got, want := bag.Predict(x), refForestPredict(brefs, x); !sameBits(got, want) {
+					t.Fatalf("bagging: compiled %x != recursive %x", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledEquivalenceTreeMajor crosses the batchTreeMajorMinNodes
+// threshold so batch scoring takes the tree-major traversal, and
+// asserts it stays bit-identical to per-row Predict calls and to the
+// recursive reference.
+func TestCompiledEquivalenceTreeMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xbeef))
+	X, y := randomRegression(rng, 500, 5)
+	Xq, _ := randomRegression(rng, 100, 5)
+
+	f := &Forest{NTrees: 40, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 11, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.compiled.NumNodes(); n < batchTreeMajorMinNodes {
+		t.Fatalf("setup too small for the tree-major path: %d nodes", n)
+	}
+	refs := make([]*refNode, len(f.trees))
+	for i, tr := range f.trees {
+		refs[i] = refTree(&tr.nodes)
+	}
+	out := make([]float64, len(Xq))
+	if err := f.PredictBatchInto(Xq, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range Xq {
+		want := refForestPredict(refs, x)
+		if !sameBits(out[i], want) {
+			t.Fatalf("tree-major row %d: %x != recursive %x", i, out[i], want)
+		}
+		if got := f.Predict(x); !sameBits(out[i], got) {
+			t.Fatalf("tree-major row %d: batch %x != single %x", i, out[i], got)
+		}
+	}
+}
+
+// TestCompiledEquivalenceConcurrent hammers one compiled model from
+// many goroutines; under -race this asserts the compiled plane's
+// fitted state is read-only on the hot path, and every goroutine must
+// still see bit-identical results.
+func TestCompiledEquivalenceConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := randomRegression(rng, 150, 4)
+	Xq, _ := randomRegression(rng, 40, 4)
+
+	f := &Forest{NTrees: 20, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 5}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := f.PredictBatch(Xq)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, len(Xq))
+			for rep := 0; rep < 50; rep++ {
+				if err := f.PredictBatchInto(Xq, out); err != nil {
+					errc <- err
+					return
+				}
+				for i := range out {
+					if !sameBits(out[i], want[i]) {
+						t.Errorf("row %d: %x != %x", i, out[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestCompiledLoadedEquivalence asserts a save/load round trip decodes
+// straight into compiled form with bit-identical predictions.
+func TestCompiledLoadedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, y := randomRegression(rng, 120, 3)
+	Xq, _ := randomRegression(rng, 30, 3)
+
+	f := &Forest{NTrees: 10, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 2}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, f).(*Forest)
+	if loaded.compiled == nil {
+		t.Fatal("loaded forest not compiled")
+	}
+	for _, x := range Xq {
+		if got, want := loaded.Predict(x), f.Predict(x); !sameBits(got, want) {
+			t.Fatalf("loaded forest: %x != %x", got, want)
+		}
+	}
+
+	g := &GradientBoosting{NStages: 12, Seed: 4}
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	gl := roundTrip(t, g).(*GradientBoosting)
+	if gl.compiled == nil {
+		t.Fatal("loaded booster not compiled")
+	}
+	for _, x := range Xq {
+		if got, want := gl.Predict(x), g.Predict(x); !sameBits(got, want) {
+			t.Fatalf("loaded gbr: %x != %x", got, want)
+		}
+	}
+}
+
+// TestCompiledPredictArityPanics pins the misuse contract the compiled
+// plane must preserve from the pointer-tree era: predicting with a
+// wrong-arity vector is a programming error and panics with a clear
+// message instead of silently indexing a truncated row.
+func TestCompiledPredictArityPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := randomRegression(rng, 80, 4)
+	bad := []float64{1, 2, 3} // one feature short
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: wrong-arity predict did not panic", name)
+			}
+		}()
+		fn()
+	}
+
+	f := &Forest{NTrees: 3, Seed: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	expectPanic("Forest.Predict", func() { f.Predict(bad) })
+	expectPanic("Forest.PredictBatch", func() { f.PredictBatch([][]float64{bad}) })
+
+	g := &GradientBoosting{NStages: 3, Seed: 1}
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	expectPanic("GradientBoosting.Predict", func() { g.Predict(bad) })
+	expectPanic("GradientBoosting.StagedPredict", func() { g.StagedPredict(bad) })
+
+	bag := &Bagging{NewBase: func() Regressor { return NewDecisionTree(TreeConfig{Seed: 1, MaxDepth: 3}) }, N: 3, Seed: 1}
+	if err := bag.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	expectPanic("Bagging.Predict", func() { bag.Predict(bad) })
+	expectPanic("Bagging.PredictBatch", func() { bag.PredictBatch([][]float64{bad}) })
+}
+
+// TestCompiledValidateRejectsCorruptTables exercises the structural
+// validation deserialised node tables pass through: child indices must
+// exist and strictly follow their parent (ruling out cycles that would
+// hang the iterative walk).
+func TestCompiledValidateRejectsCorruptTables(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []nodeDTO
+	}{
+		{"empty", nil},
+		{"child out of range", []nodeDTO{{Feature: 0, Left: 1, Right: 5}, {Feature: -1}}},
+		{"self cycle", []nodeDTO{{Feature: 0, Left: 0, Right: 1}, {Feature: -1}}},
+		{"backward edge", []nodeDTO{{Feature: -1}, {Feature: 0, Left: 0, Right: 2}, {Feature: -1}}},
+	}
+	for _, tc := range cases {
+		if _, err := compileNodes(tc.nodes); err == nil {
+			t.Errorf("%s: corrupt table accepted", tc.name)
+		}
+	}
+}
+
+// TestPredictAllocationFree asserts the serve-hot-path contract: after
+// fit, single predictions and sequential Into-batch predictions of
+// every tree-based estimator (and the compound layers above them)
+// perform zero allocations in steady state.
+func TestPredictAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(3))
+	X, y := randomRegression(rng, 200, 4)
+	Xq, _ := randomRegression(rng, 50, 4)
+	out := make([]float64, len(Xq))
+
+	fit := func(r Regressor) Regressor {
+		t.Helper()
+		if err := r.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	models := []struct {
+		name string
+		r    Regressor
+	}{
+		{"tree", fit(NewDecisionTree(TreeConfig{Seed: 1}))},
+		{"forest", fit(&Forest{NTrees: 10, Seed: 1, Workers: 1})},
+		{"gbr", fit(&GradientBoosting{NStages: 10, Seed: 1, Workers: 1})},
+		{"bagging", fit(&Bagging{NewBase: func() Regressor { return NewDecisionTree(TreeConfig{Seed: 2, MaxDepth: 5}) }, N: 8, Seed: 1, Workers: 1})},
+		{"pipeline", fit(&Pipeline{Model: NewExtraTrees(10, 1)})},
+		{"stacking", fit(&Stacking{
+			NewBases:    []func() Regressor{func() Regressor { return NewDecisionTree(TreeConfig{Seed: 1, MaxDepth: 4}) }},
+			NewMeta:     func() Regressor { return NewDecisionTree(TreeConfig{Seed: 2, MaxDepth: 3}) },
+			PassThrough: true, Workers: 1,
+		})},
+	}
+	for _, m := range models {
+		x := Xq[0]
+		if allocs := testing.AllocsPerRun(100, func() { m.r.Predict(x) }); allocs != 0 {
+			t.Errorf("%s: Predict allocates %.1f per call, want 0", m.name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			if err := PredictBatchInto(m.r, Xq, out, 1); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: PredictBatchInto allocates %.1f per batch, want 0", m.name, allocs)
+		}
+	}
+
+	// Staged prediction through the Into variant.
+	g := models[2].r.(*GradientBoosting)
+	staged := make([]float64, g.NumStages())
+	x := Xq[0]
+	if allocs := testing.AllocsPerRun(100, func() { g.StagedPredictInto(x, staged) }); allocs != 0 {
+		t.Errorf("gbr: StagedPredictInto allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -97,27 +97,62 @@ func PredictCtx(ctx context.Context, r Regressor, x []float64) (float64, error) 
 // per-row arity checks guard the panics in the estimators' Predict
 // methods.
 func PredictBatchCtx(ctx context.Context, r Regressor, X [][]float64, workers int) ([]float64, error) {
-	if !Fitted(r) {
-		return nil, fmt.Errorf("ml: %w", lamerr.ErrNotFitted)
-	}
-	if want, ok := NumFeaturesOf(r); ok {
-		for i, x := range X {
-			if len(x) != want {
-				return nil, fmt.Errorf("ml: row %d: %w: got %d features, want %d",
-					i, lamerr.ErrDimension, len(x), want)
-			}
-		}
-	}
 	out := make([]float64, len(X))
-	err := parallel.ForBlocksCtx(ctx, len(X), workers, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = r.Predict(X[i])
-		}
-	})
-	if err != nil {
+	if err := PredictBatchIntoCtx(ctx, r, X, out, workers); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// intoBlock is the row count between context polls on the sequential
+// Into path: large enough that the poll is noise, small enough that
+// cancellation stays prompt for microsecond-scale tree walks.
+const intoBlock = 256
+
+// PredictBatchIntoCtx is PredictBatchInto with prompt cancellation
+// between row blocks — the allocation-free serving path behind
+// registry batch prediction and lam-serve's /predict endpoint. With
+// workers == 1 the loop runs inline with zero allocations (the
+// sequential case is a plain loop, no closure, no pool dispatch).
+func PredictBatchIntoCtx(ctx context.Context, r Regressor, X [][]float64, out []float64, workers int) error {
+	if err := checkInto(r, X, out); err != nil {
+		return err
+	}
+	if ctx == nil || ctx.Done() == nil {
+		predictBatchInto(r, X, out, workers)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return parallel.Cancelled(err)
+	}
+	seq, hasSeq := r.(seqBatchIntoPredictor)
+	if parallel.Resolve(workers, len(X)) == 1 {
+		done := ctx.Done()
+		for lo := 0; lo < len(X); lo += intoBlock {
+			select {
+			case <-done:
+				return parallel.Cancelled(ctx.Err())
+			default:
+			}
+			hi := lo + intoBlock
+			if hi > len(X) {
+				hi = len(X)
+			}
+			if hasSeq {
+				seq.predictBatchIntoSeq(X[lo:hi], out[lo:hi])
+			} else {
+				predictRows(r, X[lo:hi], out[lo:hi])
+			}
+		}
+		return nil
+	}
+	return parallel.ForBlocksCtx(ctx, len(X), workers, 16, func(lo, hi int) {
+		if hasSeq {
+			seq.predictBatchIntoSeq(X[lo:hi], out[lo:hi])
+		} else {
+			predictRows(r, X[lo:hi], out[lo:hi])
+		}
+	})
 }
 
 // CrossValScoreCtx is CrossValScoreWorkers with prompt cancellation

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 
 	"lam/internal/parallel"
@@ -29,6 +30,7 @@ type Forest struct {
 	Workers int
 
 	trees     []*DecisionTree
+	compiled  *CompiledEnsemble
 	nFeatures int
 }
 
@@ -109,20 +111,26 @@ func (f *Forest) FitCtx(ctx context.Context, X [][]float64, y []float64) error {
 		return err
 	}
 	f.trees = trees
+	f.compiled = compileMeanEnsemble(trees)
 	f.nFeatures = p
 	return nil
 }
 
-// Predict returns the mean prediction of all member trees.
+// Compiled exposes the ensemble's shared flat node table (built at
+// Fit/load time). Treat it as read-only; nil before Fit.
+func (f *Forest) Compiled() *CompiledEnsemble { return f.compiled }
+
+// Predict returns the mean prediction of all member trees: one
+// allocation-free walk over the compiled ensemble, summed in tree
+// order — bit-identical to averaging per-tree Predict calls.
 func (f *Forest) Predict(x []float64) float64 {
-	if len(f.trees) == 0 {
+	if f.compiled == nil {
 		panic("ml: Forest.Predict called before Fit")
 	}
-	s := 0.0
-	for _, t := range f.trees {
-		s += t.Predict(x)
+	if len(x) != f.nFeatures {
+		panic(fmt.Sprintf("ml: Forest.Predict got %d features, want %d", len(x), f.nFeatures))
 	}
-	return s / float64(len(f.trees))
+	return f.compiled.Predict(x)
 }
 
 // PredictBatch scores every row of X on the worker pool. Tree
@@ -130,7 +138,38 @@ func (f *Forest) Predict(x []float64) float64 {
 // in tree order, so the output matches len(X) sequential Predict calls
 // exactly.
 func (f *Forest) PredictBatch(X [][]float64) []float64 {
-	return PredictBatchWorkers(f, X, f.Workers)
+	if f.compiled == nil {
+		panic("ml: Forest.PredictBatch called before Fit")
+	}
+	for _, x := range X {
+		if len(x) != f.nFeatures {
+			panic(fmt.Sprintf("ml: Forest.PredictBatch got %d features, want %d", len(x), f.nFeatures))
+		}
+	}
+	out := make([]float64, len(X))
+	f.predictBatchInto(X, out)
+	return out
+}
+
+// PredictBatchInto scores every row of X into out on the worker pool
+// with no allocations beyond the pool's block dispatch (none at all
+// with Workers == 1); out must have len(X) elements.
+func (f *Forest) PredictBatchInto(X [][]float64, out []float64) error {
+	if err := checkInto(f, X, out); err != nil {
+		return err
+	}
+	f.predictBatchInto(X, out)
+	return nil
+}
+
+func (f *Forest) predictBatchInto(X [][]float64, out []float64) {
+	predictBatchInto(f, X, out, f.Workers)
+}
+
+// predictBatchIntoSeq implements the compiled plane's sequential
+// block contract: one cache-blocked walk over the fused node table.
+func (f *Forest) predictBatchIntoSeq(X [][]float64, out []float64) {
+	f.compiled.PredictBatchInto(X, out)
 }
 
 // NumTrees returns the number of fitted member trees.

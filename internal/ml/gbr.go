@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lam/internal/lamerr"
 	"lam/internal/parallel"
 	"lam/internal/xmath"
 )
@@ -44,9 +45,10 @@ type GradientBoosting struct {
 	// is an independent-iteration loop and dominates on wide datasets.
 	Workers int
 
-	init   float64
-	stages []*DecisionTree
-	rate   float64
+	init     float64
+	stages   []*DecisionTree
+	rate     float64
+	compiled *CompiledEnsemble
 }
 
 // Fit runs stage-wise least-squares boosting.
@@ -138,8 +140,13 @@ func (g *GradientBoosting) FitCtx(ctx context.Context, X [][]float64, y []float6
 	g.init = mean
 	g.rate = rate
 	g.stages = stages
+	g.compiled = compileBoostedEnsemble(stages, mean, rate)
 	return nil
 }
+
+// Compiled exposes the booster's shared flat node table (built at
+// Fit/load time). Treat it as read-only; nil before Fit.
+func (g *GradientBoosting) Compiled() *CompiledEnsemble { return g.compiled }
 
 // IsFitted reports whether the booster has been trained.
 func (g *GradientBoosting) IsFitted() bool { return len(g.stages) > 0 }
@@ -153,16 +160,33 @@ func (g *GradientBoosting) NumFeatures() int {
 	return g.stages[0].NumFeatures()
 }
 
-// Predict sums the initial value and all shrunken stage contributions.
+// Predict sums the initial value and all shrunken stage contributions:
+// one allocation-free walk over the compiled ensemble, accumulated in
+// stage order — bit-identical to summing per-stage Predict calls.
 func (g *GradientBoosting) Predict(x []float64) float64 {
-	if len(g.stages) == 0 {
+	if g.compiled == nil {
 		panic("ml: GradientBoosting.Predict called before Fit")
 	}
-	out := g.init
-	for _, t := range g.stages {
-		out += g.rate * t.Predict(x)
+	if want := g.stages[0].nFeatures; len(x) != want {
+		panic(fmt.Sprintf("ml: GradientBoosting.Predict got %d features, want %d", len(x), want))
 	}
-	return out
+	return g.compiled.Predict(x)
+}
+
+// PredictBatchInto scores every row of X into out on the worker pool
+// (none at all with Workers == 1); out must have len(X) elements.
+func (g *GradientBoosting) PredictBatchInto(X [][]float64, out []float64) error {
+	if err := checkInto(g, X, out); err != nil {
+		return err
+	}
+	predictBatchInto(g, X, out, g.Workers)
+	return nil
+}
+
+// predictBatchIntoSeq implements the compiled plane's sequential
+// block contract: one walk over the fused stage table.
+func (g *GradientBoosting) predictBatchIntoSeq(X [][]float64, out []float64) {
+	g.compiled.PredictBatchInto(X, out)
 }
 
 // NumStages returns the number of fitted boosting stages.
@@ -170,15 +194,32 @@ func (g *GradientBoosting) NumStages() int { return len(g.stages) }
 
 // StagedPredict returns the prediction after every boosting stage,
 // useful for picking an early-stopping point on a validation set.
+// Misuse (unfitted model, wrong arity) panics, matching Predict.
 func (g *GradientBoosting) StagedPredict(x []float64) []float64 {
-	if len(g.stages) == 0 {
+	if g.compiled == nil {
 		panic("ml: GradientBoosting.StagedPredict called before Fit")
 	}
 	out := make([]float64, len(g.stages))
-	acc := g.init
-	for i, t := range g.stages {
-		acc += g.rate * t.Predict(x)
-		out[i] = acc
+	if err := g.StagedPredictInto(x, out); err != nil {
+		panic("ml: GradientBoosting.StagedPredict: " + err.Error())
 	}
 	return out
+}
+
+// StagedPredictInto writes the prediction after every boosting stage
+// into out (which must have NumStages elements) with zero allocations,
+// returning the *Into contract's typed errors (ErrNotFitted,
+// ErrDimension) instead of panicking.
+func (g *GradientBoosting) StagedPredictInto(x []float64, out []float64) error {
+	if g.compiled == nil {
+		return fmt.Errorf("ml: %w", lamerr.ErrNotFitted)
+	}
+	if want := g.stages[0].nFeatures; len(x) != want {
+		return fmt.Errorf("ml: %w: got %d features, want %d", lamerr.ErrDimension, len(x), want)
+	}
+	if len(out) != len(g.stages) {
+		return fmt.Errorf("ml: %w: output slice holds %d values for %d stages", lamerr.ErrDimension, len(out), len(g.stages))
+	}
+	g.compiled.PredictInto(x, out)
+	return nil
 }

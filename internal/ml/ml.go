@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lam/internal/lamerr"
 	"lam/internal/parallel"
 )
 
@@ -49,6 +50,84 @@ func PredictBatchWorkers(r Regressor, X [][]float64, workers int) []float64 {
 		}
 	})
 	return out
+}
+
+// checkInto validates an allocation-free batch-prediction call: fitted
+// model, matching output length, per-row arity.
+func checkInto(r Regressor, X [][]float64, out []float64) error {
+	if !Fitted(r) {
+		return fmt.Errorf("ml: %w", lamerr.ErrNotFitted)
+	}
+	if len(out) != len(X) {
+		return fmt.Errorf("ml: %w: output slice holds %d values for %d rows", lamerr.ErrDimension, len(out), len(X))
+	}
+	if want, ok := NumFeaturesOf(r); ok {
+		for i, x := range X {
+			if len(x) != want {
+				return fmt.Errorf("ml: row %d: %w: got %d features, want %d",
+					i, lamerr.ErrDimension, len(x), want)
+			}
+		}
+	}
+	return nil
+}
+
+// seqBatchIntoPredictor is the internal fast-path contract of the
+// compiled inference plane: score a validated row block into out
+// sequentially (no pool dispatch, no allocation), using the
+// estimator's best batch walk — the fused node table for tree
+// ensembles, a reused scratch row for pipelines. The generic batch
+// cores below dispatch through it per block, so every layer that
+// funnels into them (registry, serve, the experiment sweeps) gets the
+// compiled walk without per-call-site wiring; the caller's workers
+// argument still governs parallelism.
+type seqBatchIntoPredictor interface {
+	predictBatchIntoSeq(X [][]float64, out []float64)
+}
+
+// PredictBatchInto applies r to every row of X, writing the results
+// into out (which must have len(X) elements) instead of allocating:
+// the serve-grade batch path. With workers == 1 and an estimator from
+// this package the call performs zero allocations in steady state —
+// compiled tree walks are allocation-free and the scaler/stacking
+// layers draw scratch from sync.Pools.
+func PredictBatchInto(r Regressor, X [][]float64, out []float64, workers int) error {
+	if err := checkInto(r, X, out); err != nil {
+		return err
+	}
+	predictBatchInto(r, X, out, workers)
+	return nil
+}
+
+// predictBatchInto is the shared validated core of the Into batch
+// paths. The sequential case has no closure and no pool dispatch, so
+// it is provably allocation-free.
+func predictBatchInto(r Regressor, X [][]float64, out []float64, workers int) {
+	seq, hasSeq := r.(seqBatchIntoPredictor)
+	if parallel.Resolve(workers, len(X)) == 1 {
+		if hasSeq {
+			seq.predictBatchIntoSeq(X, out)
+			return
+		}
+		predictRows(r, X, out)
+		return
+	}
+	parallel.ForBlocks(len(X), workers, 16, func(lo, hi int) {
+		if hasSeq {
+			seq.predictBatchIntoSeq(X[lo:hi], out[lo:hi])
+		} else {
+			predictRows(r, X[lo:hi], out[lo:hi])
+		}
+	})
+}
+
+// predictRows is the plain per-row fallback for regressors without a
+// compiled batch walk. Implementations of seqBatchIntoPredictor must
+// never call back into the generic cores, so dispatch cannot recurse.
+func predictRows(r Regressor, X [][]float64, out []float64) {
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
 }
 
 // checkXY validates the design matrix and response vector shapes shared

@@ -38,44 +38,48 @@ type treeDTO struct {
 	Nodes       []nodeDTO  `json:"nodes"`
 }
 
-func flattenTree(root *treeNode) []nodeDTO {
-	var nodes []nodeDTO
-	var walk func(n *treeNode) int
-	walk = func(n *treeNode) int {
-		if n == nil {
-			return -1
+// The on-disk node list IS the runtime layout: the compiled node table
+// maps 1:1 onto []nodeDTO (same preorder, same index-based children),
+// so loading a model decodes straight into compiled form with no
+// intermediate pointer tree. The serialised bytes are unchanged from
+// the pre-compiled-plane format.
+
+func flattenTree(c *CompiledTree) []nodeDTO {
+	nodes := make([]nodeDTO, c.Len())
+	for i := range nodes {
+		nodes[i] = nodeDTO{
+			Feature:   int(c.feature[i]),
+			Threshold: c.threshold[i],
+			Value:     c.value[i],
+			N:         int(c.nSamples[i]),
+			Left:      int(c.left[i]),
+			Right:     int(c.right[i]),
 		}
-		idx := len(nodes)
-		nodes = append(nodes, nodeDTO{Feature: n.feature, Threshold: n.threshold,
-			Value: n.value, N: n.n, Left: -1, Right: -1})
-		nodes[idx].Left = walk(n.left)
-		nodes[idx].Right = walk(n.right)
-		return idx
 	}
-	walk(root)
 	return nodes
 }
 
-func buildTree(nodes []nodeDTO, idx int) (*treeNode, error) {
-	if idx == -1 {
-		return nil, nil
+func compileNodes(nodes []nodeDTO) (CompiledTree, error) {
+	c := CompiledTree{
+		feature:   make([]int32, len(nodes)),
+		threshold: make([]float64, len(nodes)),
+		value:     make([]float64, len(nodes)),
+		left:      make([]int32, len(nodes)),
+		right:     make([]int32, len(nodes)),
+		nSamples:  make([]int32, len(nodes)),
 	}
-	if idx < 0 || idx >= len(nodes) {
-		return nil, fmt.Errorf("ml: corrupt tree node index %d", idx)
+	for i, d := range nodes {
+		c.feature[i] = int32(d.Feature)
+		c.threshold[i] = d.Threshold
+		c.value[i] = d.Value
+		c.left[i] = int32(d.Left)
+		c.right[i] = int32(d.Right)
+		c.nSamples[i] = int32(d.N)
 	}
-	d := nodes[idx]
-	n := &treeNode{feature: d.Feature, threshold: d.Threshold, value: d.Value, n: d.N}
-	var err error
-	if n.left, err = buildTree(nodes, d.Left); err != nil {
-		return nil, err
+	if err := c.validate(); err != nil {
+		return CompiledTree{}, err
 	}
-	if n.right, err = buildTree(nodes, d.Right); err != nil {
-		return nil, err
-	}
-	if !n.isLeaf() && (n.left == nil || n.right == nil) {
-		return nil, fmt.Errorf("ml: corrupt tree: internal node %d missing a child", idx)
-	}
-	return n, nil
+	return c, nil
 }
 
 func (t *DecisionTree) toDTO() treeDTO {
@@ -83,22 +87,19 @@ func (t *DecisionTree) toDTO() treeDTO {
 		Config:      t.Config,
 		NFeatures:   t.nFeatures,
 		Importances: t.importances,
-		Nodes:       flattenTree(t.root),
+		Nodes:       flattenTree(&t.nodes),
 	}
 }
 
 func (t *DecisionTree) fromDTO(d treeDTO) error {
-	root, err := buildTree(d.Nodes, 0)
+	nodes, err := compileNodes(d.Nodes)
 	if err != nil {
 		return err
-	}
-	if root == nil {
-		return fmt.Errorf("ml: corrupt tree: empty node list")
 	}
 	t.Config = d.Config
 	t.nFeatures = d.NFeatures
 	t.importances = d.Importances
-	t.root = root
+	t.nodes = nodes
 	return nil
 }
 
@@ -150,7 +151,7 @@ func encodeModel(m Regressor) (*modelEnvelope, error) {
 	var payload any
 	switch v := m.(type) {
 	case *DecisionTree:
-		if v.root == nil {
+		if !v.IsFitted() {
 			return nil, fmt.Errorf("ml: cannot save unfitted DecisionTree")
 		}
 		kind, payload = "decision_tree", v.toDTO()
@@ -240,6 +241,7 @@ func decodeModel(env modelEnvelope) (Regressor, error) {
 		if len(f.trees) == 0 {
 			return nil, fmt.Errorf("ml: corrupt forest: no trees")
 		}
+		f.compiled = compileMeanEnsemble(f.trees)
 		return f, nil
 	case "linreg":
 		var d linregDTO
@@ -276,6 +278,7 @@ func decodeModel(env modelEnvelope) (Regressor, error) {
 		if len(g.stages) == 0 {
 			return nil, fmt.Errorf("ml: corrupt gbr: no stages")
 		}
+		g.compiled = compileBoostedEnsemble(g.stages, g.init, g.rate)
 		return g, nil
 	case "pipeline":
 		var d pipelineDTO

@@ -1,0 +1,8 @@
+//go:build !race
+
+package ml
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because instrumentation perturbs
+// the counts.
+const raceEnabled = false

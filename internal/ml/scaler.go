@@ -154,14 +154,48 @@ func (p *Pipeline) IsFitted() bool { return p.fitted }
 // before Fit).
 func (p *Pipeline) NumFeatures() int { return len(p.scaler.mean) }
 
-// Predict scales x with the training statistics and delegates.
+// Predict scales x with the training statistics and delegates. The
+// scaled row lives in pooled scratch, so the call is allocation-free
+// in steady state while remaining safe for concurrent use.
 func (p *Pipeline) Predict(x []float64) float64 {
 	if !p.fitted {
 		panic("ml: Pipeline.Predict called before Fit")
 	}
-	row, err := p.scaler.TransformRow(x)
-	if err != nil {
-		panic(err)
+	if len(x) != len(p.scaler.mean) {
+		panic(fmt.Sprintf("ml: Pipeline.Predict got %d features, want %d", len(x), len(p.scaler.mean)))
 	}
-	return p.Model.Predict(row)
+	buf := GetScratch(len(x))
+	defer PutScratch(buf)
+	p.scaler.transformInto(x, *buf)
+	return p.Model.Predict(*buf)
+}
+
+// transformInto standardises x into dst (same arithmetic as Transform,
+// no allocation). Caller guarantees matching arities.
+func (s *StandardScaler) transformInto(x, dst []float64) {
+	for j, v := range x {
+		dst[j] = (v - s.mean[j]) / s.std[j]
+	}
+}
+
+// PredictBatchInto scores every row of X into out (len(X) elements)
+// sequentially, reusing one scratch row — zero allocations in steady
+// state.
+func (p *Pipeline) PredictBatchInto(X [][]float64, out []float64) error {
+	if err := checkInto(p, X, out); err != nil {
+		return err
+	}
+	p.predictBatchIntoSeq(X, out)
+	return nil
+}
+
+// predictBatchIntoSeq implements the compiled plane's sequential block
+// contract: one checked-out scratch row reused across the block.
+func (p *Pipeline) predictBatchIntoSeq(X [][]float64, out []float64) {
+	buf := GetScratch(len(p.scaler.mean))
+	defer PutScratch(buf)
+	for i, x := range X {
+		p.scaler.transformInto(x, *buf)
+		out[i] = p.Model.Predict(*buf)
+	}
 }

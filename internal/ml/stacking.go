@@ -173,14 +173,41 @@ func (s *Stacking) assemble(x, preds []float64) []float64 {
 	return append(out, preds...)
 }
 
-// Predict runs the base models and feeds their outputs to the meta model.
+// Predict runs the base models and feeds their outputs to the meta
+// model. The meta input vector is assembled in pooled scratch — the
+// same layout assemble produced at fit time — so the call is
+// allocation-free in steady state.
 func (s *Stacking) Predict(x []float64) float64 {
 	if s.meta == nil {
 		panic("ml: Stacking.Predict called before Fit")
 	}
-	preds := make([]float64, len(s.bases))
-	for i, b := range s.bases {
-		preds[i] = b.Predict(x)
+	nb := len(s.bases)
+	skip := 0
+	if s.PassThrough {
+		skip = len(x)
 	}
-	return s.meta.Predict(s.assemble(x, preds))
+	buf := GetScratch(skip + nb)
+	defer PutScratch(buf)
+	meta := *buf
+	copy(meta, x[:skip])
+	for i, b := range s.bases {
+		meta[skip+i] = b.Predict(x)
+	}
+	return s.meta.Predict(meta)
+}
+
+// PredictBatchInto scores every row of X into out (len(X) elements)
+// sequentially with zero steady-state allocations.
+func (s *Stacking) PredictBatchInto(X [][]float64, out []float64) error {
+	if err := checkInto(s, X, out); err != nil {
+		return err
+	}
+	s.predictBatchIntoSeq(X, out)
+	return nil
+}
+
+// predictBatchIntoSeq implements the compiled plane's sequential block
+// contract; the per-row pooled meta vector is the whole state.
+func (s *Stacking) predictBatchIntoSeq(X [][]float64, out []float64) {
+	predictRows(s, X, out)
 }

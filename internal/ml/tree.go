@@ -63,24 +63,15 @@ func (c TreeConfig) normalized() TreeConfig {
 	return c
 }
 
-// treeNode is one node of the fitted tree. Leaves have feature == -1.
-type treeNode struct {
-	feature   int
-	threshold float64
-	left      *treeNode
-	right     *treeNode
-	value     float64 // mean response at this node
-	n         int     // training samples at this node
-}
-
-func (n *treeNode) isLeaf() bool { return n.feature < 0 }
-
 // DecisionTree is a CART regression tree (variance-reduction splitting)
-// with an optional extra-trees random splitter.
+// with an optional extra-trees random splitter. The fitted tree is
+// stored directly in compiled form — a flat preorder node table
+// (CompiledTree) — so prediction is an iterative, allocation-free
+// index walk with no pointer chasing.
 type DecisionTree struct {
 	Config TreeConfig
 
-	root        *treeNode
+	nodes       CompiledTree
 	nFeatures   int
 	importances []float64
 }
@@ -91,7 +82,11 @@ func NewDecisionTree(cfg TreeConfig) *DecisionTree {
 }
 
 // IsFitted reports whether the tree has been grown.
-func (t *DecisionTree) IsFitted() bool { return t.root != nil }
+func (t *DecisionTree) IsFitted() bool { return t.nodes.Len() > 0 }
+
+// Compiled exposes the tree's flat node table (the runtime
+// representation itself, not a copy). Treat it as read-only.
+func (t *DecisionTree) Compiled() *CompiledTree { return &t.nodes }
 
 // NumFeatures returns the feature arity the tree was fitted on (0
 // before Fit).
@@ -104,82 +99,73 @@ func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
 		return err
 	}
 	cfg := t.Config.normalized()
-	t.nFeatures = p
-	t.importances = make([]float64, p)
 
 	idx := make([]int, len(X))
 	for i := range idx {
 		idx[i] = i
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	importances := make([]float64, p)
 	b := &treeBuilder{
 		X: X, y: y, cfg: cfg, rng: rng,
-		nFeatures: p, importances: t.importances,
+		nFeatures: p, importances: importances,
 		featBuf: make([]int, p),
 		scratch: make([]splitSample, len(X)),
 	}
-	t.root = b.build(idx, 1)
+	b.build(idx, 1)
 	// Normalise importances to sum to 1 (when any split happened).
 	total := 0.0
-	for _, v := range t.importances {
+	for _, v := range importances {
 		total += v
 	}
 	if total > 0 {
-		for i := range t.importances {
-			t.importances[i] /= total
+		for i := range importances {
+			importances[i] /= total
 		}
 	}
+	// Assign fitted state only on success, so a failed refit of an
+	// already-fitted tree leaves it untouched.
+	t.nFeatures = p
+	t.importances = importances
+	t.nodes = b.out
 	return nil
 }
 
-// Predict returns the fitted response for x.
+// Predict returns the fitted response for x: an iterative walk over
+// the compiled node table. Allocation-free.
 func (t *DecisionTree) Predict(x []float64) float64 {
-	if t.root == nil {
+	if t.nodes.Len() == 0 {
 		panic("ml: DecisionTree.Predict called before Fit")
 	}
 	if len(x) != t.nFeatures {
 		panic(fmt.Sprintf("ml: DecisionTree.Predict got %d features, want %d", len(x), t.nFeatures))
 	}
-	n := t.root
-	for !n.isLeaf() {
-		if x[n.feature] <= n.threshold {
-			n = n.left
-		} else {
-			n = n.right
-		}
+	return t.nodes.Predict(x)
+}
+
+// PredictBatchInto scores every row of X into out sequentially with
+// zero allocations; out must have len(X) elements.
+func (t *DecisionTree) PredictBatchInto(X [][]float64, out []float64) error {
+	if err := checkInto(t, X, out); err != nil {
+		return err
 	}
-	return n.value
+	t.predictBatchIntoSeq(X, out)
+	return nil
+}
+
+// predictBatchIntoSeq implements the compiled plane's sequential block
+// contract: a bare iterative walk per row (rows are pre-validated).
+func (t *DecisionTree) predictBatchIntoSeq(X [][]float64, out []float64) {
+	for i, x := range X {
+		out[i] = t.nodes.Predict(x)
+	}
 }
 
 // Depth returns the depth of the fitted tree (a lone leaf has depth 1).
-func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
-
-func nodeDepth(n *treeNode) int {
-	if n == nil {
-		return 0
-	}
-	if n.isLeaf() {
-		return 1
-	}
-	l, r := nodeDepth(n.left), nodeDepth(n.right)
-	if l > r {
-		return l + 1
-	}
-	return r + 1
-}
+func (t *DecisionTree) Depth() int { return t.nodes.depth() }
 
 // NumLeaves returns the number of leaves of the fitted tree.
-func (t *DecisionTree) NumLeaves() int { return countLeaves(t.root) }
-
-func countLeaves(n *treeNode) int {
-	if n == nil {
-		return 0
-	}
-	if n.isLeaf() {
-		return 1
-	}
-	return countLeaves(n.left) + countLeaves(n.right)
-}
+func (t *DecisionTree) NumLeaves() int { return t.nodes.numLeaves() }
 
 // FeatureImportances returns the impurity-decrease importance of each
 // feature, normalised to sum to one (all zeros when the tree is a single
@@ -193,7 +179,10 @@ type splitSample struct {
 	v, y float64
 }
 
-// treeBuilder holds the shared state of one Fit call.
+// treeBuilder holds the shared state of one Fit call. Nodes are
+// appended to out in preorder (parent, left subtree, right subtree),
+// which is the layout CompiledTree's iterative traversal and the
+// persistence format both rely on.
 type treeBuilder struct {
 	X           [][]float64
 	y           []float64
@@ -203,10 +192,12 @@ type treeBuilder struct {
 	importances []float64
 	featBuf     []int
 	scratch     []splitSample
+	out         CompiledTree
 }
 
-// build grows the subtree over the sample indices idx at the given depth.
-func (b *treeBuilder) build(idx []int, depth int) *treeNode {
+// build grows the subtree over the sample indices idx at the given
+// depth and returns its root's index in the node table.
+func (b *treeBuilder) build(idx []int, depth int) int32 {
 	n := len(idx)
 	sum, sum2 := 0.0, 0.0
 	for _, i := range idx {
@@ -215,7 +206,7 @@ func (b *treeBuilder) build(idx []int, depth int) *treeNode {
 	}
 	mean := sum / float64(n)
 	sse := sum2 - sum*sum/float64(n)
-	node := &treeNode{feature: -1, value: mean, n: n}
+	node := b.out.grow(mean, n)
 
 	if n < b.cfg.MinSamplesSplit ||
 		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
@@ -242,10 +233,9 @@ func (b *treeBuilder) build(idx []int, depth int) *treeNode {
 	}
 
 	b.importances[feat] += gain
-	node.feature = feat
-	node.threshold = thr
-	node.left = b.build(left, depth+1)
-	node.right = b.build(right, depth+1)
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.out.split(node, feat, thr, l, r)
 	return node
 }
 

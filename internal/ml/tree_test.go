@@ -91,22 +91,16 @@ func TestTreeMinSamplesLeaf(t *testing.T) {
 	if err := tree.Fit(X, y); err != nil {
 		t.Fatal(err)
 	}
-	assertLeafSizes(t, tree.root, 10)
+	assertLeafSizes(t, &tree.nodes, 10)
 }
 
-func assertLeafSizes(t *testing.T, n *treeNode, min int) {
+func assertLeafSizes(t *testing.T, c *CompiledTree, min int) {
 	t.Helper()
-	if n == nil {
-		return
-	}
-	if n.isLeaf() {
-		if n.n < min {
-			t.Errorf("leaf holds %d samples, want >= %d", n.n, min)
+	for i := 0; i < c.Len(); i++ {
+		if c.feature[i] < 0 && int(c.nSamples[i]) < min {
+			t.Errorf("leaf %d holds %d samples, want >= %d", i, c.nSamples[i], min)
 		}
-		return
 	}
-	assertLeafSizes(t, n.left, min)
-	assertLeafSizes(t, n.right, min)
 }
 
 func TestTreeMinSamplesSplit(t *testing.T) {

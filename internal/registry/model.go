@@ -49,11 +49,24 @@ func (m *Model) Predict(ctx context.Context, x []float64) (float64, error) {
 // rows; the output is bit-identical to len(X) sequential Predict calls
 // for every worker count.
 func (m *Model) PredictBatch(ctx context.Context, X [][]float64) ([]float64, error) {
+	out := make([]float64, len(X))
+	if err := m.PredictBatchInto(ctx, X, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatchInto scores every row of X into out (which must have
+// len(X) elements): the allocation-free path lam-serve feeds its
+// pooled response buffers through. Loaded artifacts decode straight
+// into compiled flat node tables, so with Workers == 1 the regressor
+// path performs zero allocations per call in steady state.
+func (m *Model) PredictBatchInto(ctx context.Context, X [][]float64, out []float64) error {
 	if m.hybrid != nil {
-		return m.hybrid.PredictBatchCtx(ctx, X)
+		return m.hybrid.PredictBatchIntoCtx(ctx, X, out)
 	}
 	if m.regressor == nil {
-		return nil, fmt.Errorf("registry: %w", lamerr.ErrNotFitted)
+		return fmt.Errorf("registry: %w", lamerr.ErrNotFitted)
 	}
-	return ml.PredictBatchCtx(ctx, m.regressor, X, m.Workers)
+	return ml.PredictBatchIntoCtx(ctx, m.regressor, X, out, m.Workers)
 }

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lam/internal/experiments"
+	"lam/internal/machine"
+	"lam/internal/ml"
+	"lam/internal/registry"
+)
+
+// loadedRegressorModel publishes a trained extra-trees pipeline and
+// loads it back, mirroring what the serve cache holds for a regressor
+// artifact. The registry is returned too, for full-server benches.
+func loadedRegressorModel(t testing.TB) (*registry.Model, [][]float64, *registry.Registry) {
+	t.Helper()
+	m := machine.BlueWatersXE6()
+	ds, err := experiments.DatasetByName("stencil-grid", m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	train, test, err := ds.SampleFraction(0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := &ml.Pipeline{Model: ml.NewExtraTrees(50, 7)}
+	if err := et.Fit(train.X, train.Y); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveRegressor(et, registry.Meta{Name: "grid-et"}); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := reg.Load("grid-et", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm.Workers = 1
+	return lm, test.X[:256], reg
+}
+
+// TestServeBatchZeroPerRowAllocations is the serve hot-path contract
+// of the compiled inference plane: once the request is decoded and the
+// pooled output buffer is in hand, scoring a batch through the loaded
+// model performs zero allocations in steady state — the registry
+// artifact decodes straight into compiled flat node tables and the
+// pipeline's scaled row comes from pooled scratch.
+func TestServeBatchZeroPerRowAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	lm, X, _ := loadedRegressorModel(t)
+	ctx := context.Background()
+	out := ml.GetScratch(len(X))
+	defer ml.PutScratch(out)
+
+	// Warm the scratch pools once.
+	if err := lm.PredictBatchInto(ctx, X, *out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := lm.PredictBatchInto(ctx, X, *out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("serve batch path allocates %.1f per %d-row batch, want 0", allocs, len(X))
+	}
+}
+
+// BenchmarkServePredictBatch is the serve-side half of the compiled
+// plane's before/after pairs: one /predict-equivalent batch scored
+// through the loaded registry model into a pooled buffer (the handler
+// path minus HTTP codec). Pair it with
+// BenchmarkForestPredictBatch/recursive in internal/ml for the
+// pre-refactor traversal cost.
+func BenchmarkServePredictBatch(b *testing.B) {
+	lm, X, _ := loadedRegressorModel(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := ml.GetScratch(len(X))
+		if err := lm.PredictBatchInto(ctx, X, *out); err != nil {
+			b.Fatal(err)
+		}
+		ml.PutScratch(out)
+	}
+}
+
+// BenchmarkServeRoundTrip measures the whole /predict batch round trip
+// — HTTP, JSON codec both ways, pooled buffers, compiled batch scoring
+// — for a 256-row request against a live test server.
+func BenchmarkServeRoundTrip(b *testing.B) {
+	_, X, reg := loadedRegressorModel(b)
+	srv := New(reg)
+	srv.Workers = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(map[string]any{"model": "grid-et", "batch": X})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

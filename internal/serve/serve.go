@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"lam/internal/lamerr"
+	"lam/internal/ml"
 	"lam/internal/registry"
 )
 
@@ -224,6 +225,13 @@ type predictResponse struct {
 	YBatch  []float64 `json:"y_batch,omitempty"`
 }
 
+// Batch output buffers come from the shared ml scratch pool: each
+// /predict batch request checks one out, scores into it via the
+// registry model's allocation-free PredictBatchInto, encodes the
+// response, and returns it — so the serve batch hot path performs zero
+// per-row allocations in steady state (the JSON decode of the request
+// body is the only per-row cost left).
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
@@ -254,13 +262,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Y = &y
-	} else {
-		ys, err := m.PredictBatch(r.Context(), req.Batch)
-		if err != nil {
-			writeError(w, predictError(err))
-			return
-		}
-		resp.YBatch = ys
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
+	buf := ml.GetScratch(len(req.Batch))
+	defer ml.PutScratch(buf)
+	if err := m.PredictBatchInto(r.Context(), req.Batch, *buf); err != nil {
+		writeError(w, predictError(err))
+		return
+	}
+	resp.YBatch = *buf
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -121,11 +121,26 @@ func TrainHybridCtx(ctx context.Context, train *Dataset, am AnalyticalModel, cfg
 	return hybrid.TrainCtx(ctx, train, am, cfg)
 }
 
+// FitCtx fits a regressor with prompt cancellation when the estimator
+// supports it (every ensemble in this module does); otherwise the
+// context is checked once up front.
+func FitCtx(ctx context.Context, r Regressor, X [][]float64, y []float64) error {
+	return ml.FitCtx(ctx, r, X, y)
+}
+
 // PredictBatchCtx applies a fitted regressor to every row of X with
 // prompt cancellation between row blocks; the output is bit-identical
 // to PredictBatch.
 func PredictBatchCtx(ctx context.Context, r Regressor, X [][]float64) ([]float64, error) {
 	return ml.PredictBatchCtx(ctx, r, X, 0)
+}
+
+// PredictBatchIntoCtx is PredictBatchCtx writing into a caller-owned
+// slice (len(out) == len(X)) instead of allocating — the serve-grade
+// hot path: tree-based estimators run compiled, allocation-free flat
+// node-table walks (see README §Inference internals).
+func PredictBatchIntoCtx(ctx context.Context, r Regressor, X [][]float64, out []float64) error {
+	return ml.PredictBatchIntoCtx(ctx, r, X, out, 0)
 }
 
 // AnalyticalMAPECtx is AnalyticalMAPE with prompt cancellation between

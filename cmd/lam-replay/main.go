@@ -1,0 +1,175 @@
+// Command lam-replay replays a workload dataset as a ground-truth
+// observation stream against a running lam-serve -online instance —
+// the end-to-end demonstration of the online adaptation plane.
+//
+// Usage:
+//
+//	lam-replay -model grid-hybrid [-addr http://127.0.0.1:8080]
+//	          [-workload stencil-blocking] [-machine xeon]
+//	          [-batch 32] [-max 0] [-seed 1]
+//
+// It builds the named workload's dataset on the named machine preset
+// (pick a *different* machine than the model was trained on to inject
+// the paper's hardware-transfer drift), shuffles it, and POSTs it to
+// /observe in batches. Each response carries the model's drift status,
+// which is printed as the stream progresses: watch the windowed MAPE
+// climb, the detector trip, the background retrain publish a new
+// version, and the served version hot-swap — then the post-swap window
+// MAPE settle back down. The exit summary reports the MAPE before and
+// after adaptation.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lam/internal/experiments"
+	"lam/internal/machine"
+	"lam/internal/online"
+)
+
+type observeResponse struct {
+	Model    string        `json:"model"`
+	Version  int           `json:"version"`
+	Ingested int           `json:"ingested"`
+	Drift    online.Status `json:"drift"`
+	Error    string        `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "lam-serve base URL")
+	model := flag.String("model", "", "registry model name to stream observations at (required)")
+	workload := flag.String("workload", "stencil-blocking", "canonical dataset to replay (stencil-grid, stencil-blocking, stencil-threads, stencil-full, fmm)")
+	machineName := flag.String("machine", "xeon", "machine preset generating the observed runtimes (bluewaters, xeon, edge)")
+	batch := flag.Int("batch", 32, "observations per /observe request")
+	maxObs := flag.Int("max", 0, "stop after this many observations (0 = the whole dataset)")
+	seed := flag.Int64("seed", 1, "simulator + shuffle seed")
+	flag.Parse()
+
+	if *model == "" {
+		fatal(fmt.Errorf("-model is required"))
+	}
+	m, ok := machine.Presets()[*machineName]
+	if !ok {
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "lam-replay: building %s observations on %s…\n", *workload, m.Name)
+	ds, err := experiments.DatasetByName(*workload, m, uint64(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	// Shuffle so the stream is i.i.d. rather than sweeping the
+	// configuration space in generation order.
+	perm := rand.New(rand.NewSource(*seed)).Perm(ds.Len())
+	total := ds.Len()
+	if *maxObs > 0 && *maxObs < total {
+		total = *maxObs
+	}
+	fmt.Fprintf(os.Stderr, "lam-replay: streaming %d of %d observations to %s (batch %d)\n",
+		total, ds.Len(), *addr, *batch)
+
+	startVersion := 0
+	preSwap, postSwap := 0.0, 0.0
+	swapped := false
+	sent := 0
+	for sent < total {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "lam-replay: interrupted")
+			os.Exit(130)
+		}
+		n := *batch
+		if sent+n > total {
+			n = total - sent
+		}
+		X := make([][]float64, n)
+		Y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := perm[sent+i]
+			X[i], Y[i] = ds.X[j], ds.Y[j]
+		}
+		resp, err := postObserve(ctx, *addr, *model, X, Y)
+		if err != nil {
+			fatal(err)
+		}
+		sent += n
+		if startVersion == 0 {
+			startVersion = resp.Version
+		}
+		state := "ok"
+		switch {
+		case resp.Drift.Retraining:
+			state = "RETRAINING"
+		case resp.Drift.Tripped:
+			state = "DRIFT"
+		}
+		fmt.Printf("lam-replay: %5d/%d sent  v%d  window %3d  MAPE %7.2f%%  (threshold %.2f%%)  %s\n",
+			sent, total, resp.Version, resp.Drift.Window.Count, resp.Drift.Window.MAPE,
+			resp.Drift.ThresholdMAPE, state)
+		if !swapped && resp.Version > startVersion {
+			swapped = true
+			preSwap = resp.Drift.PreSwapMAPE
+			fmt.Printf("lam-replay: *** hot swap: v%d -> v%d (pre-swap window MAPE %.2f%%, retrained test MAPE %.2f%%)\n",
+				startVersion, resp.Version, preSwap,
+				resp.Drift.BaselineMAPE)
+		}
+		if swapped {
+			postSwap = resp.Drift.Window.MAPE
+			// Enough post-swap samples to call the after-MAPE settled.
+			if resp.Drift.Window.Count >= resp.Drift.Window.Capacity/2 {
+				break
+			}
+		}
+	}
+	fmt.Println("lam-replay: done")
+	if swapped {
+		fmt.Printf("lam-replay: windowed MAPE before adaptation %.2f%%, after %.2f%%\n", preSwap, postSwap)
+	} else {
+		fmt.Printf("lam-replay: no retrain published within %d observations (stream may match the training distribution)\n", sent)
+	}
+}
+
+func postObserve(ctx context.Context, addr, model string, X [][]float64, Y []float64) (*observeResponse, error) {
+	body, err := json.Marshal(map[string]any{"model": model, "batch": X, "y_batch": Y})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/observe", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var out observeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("decoding /observe response %q: %w", raw, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/observe: status %d: %s", resp.StatusCode, out.Error)
+	}
+	return &out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lam-replay:", err)
+	os.Exit(1)
+}

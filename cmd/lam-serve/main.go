@@ -6,17 +6,33 @@
 // Usage:
 //
 //	lam-serve -registry ./models [-addr :8080] [-workers N]
+//	         [-online] [-window 512] [-drift-threshold 1.5]
+//	         [-min-samples 64] [-holdout 0.25]
 //
 // Endpoints:
 //
 //	GET  /healthz  — liveness + stored-model count
 //	GET  /models   — every stored model version's metadata
+//	GET  /metrics  — request/cache/swap (+ online) counters
 //	POST /predict  — {"model":"name","x":[…]} or
 //	                 {"model":"name","version":2,"batch":[[…],[…]]}
 //
+// With -online, the continuous-learning plane is attached:
+//
+//	POST /observe              — ground-truth ingest (single or batch)
+//	GET  /models/{name}/drift  — window accuracy + detector state
+//
+// Observed runtimes feed a per-model sliding window; when the windowed
+// MAPE degrades past -drift-threshold × the model's recorded test
+// MAPE, a background retrain merges the window with the original
+// training set and republishes only if it improves — the server then
+// hot-swaps to the new version without interrupting in-flight
+// requests. See cmd/lam-replay for an end-to-end demonstration.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests get a
 // drain window, new connections are refused. See the README's
-// "Serving predictions" section for a curl quickstart.
+// "Serving predictions" and "Online adaptation" sections for curl
+// quickstarts.
 package main
 
 import (
@@ -31,6 +47,7 @@ import (
 	"time"
 
 	"lam"
+	"lam/internal/online"
 	"lam/internal/serve"
 )
 
@@ -39,6 +56,12 @@ func main() {
 	regDir := flag.String("registry", "", "model registry directory (required; see lam-predict -registry)")
 	workers := flag.Int("workers", 0, "worker pool size for batch prediction (0 = GOMAXPROCS, 1 = sequential)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	onlineOn := flag.Bool("online", false, "enable the online adaptation plane (/observe ingest, drift detection, background retrain, hot swap)")
+	window := flag.Int("window", 512, "online: per-model observation window size")
+	driftThreshold := flag.Float64("drift-threshold", 1.5, "online: trip when windowed MAPE exceeds this factor × the model's recorded test MAPE")
+	minSamples := flag.Int("min-samples", 64, "online: windowed samples required before the drift detector may trip")
+	holdout := flag.Float64("holdout", 0.25, "online: fraction of the window held out to judge a retrained model")
+	seed := flag.Int64("seed", 1, "online: seed for retrain splits and model randomness")
 	flag.Parse()
 
 	lam.SetWorkers(*workers)
@@ -64,6 +87,22 @@ func main() {
 
 	s := serve.New(reg)
 	s.Workers = *workers
+	if *onlineOn {
+		plane := online.New(reg, online.Config{
+			WindowSize: *window,
+			Detector: online.DetectorConfig{
+				DegradeFactor: *driftThreshold,
+				MinSamples:    *minSamples,
+			},
+			HoldoutFraction: *holdout,
+			Seed:            *seed,
+			Workers:         *workers,
+		})
+		defer plane.Close()
+		s.AttachOnline(plane)
+		fmt.Fprintf(os.Stderr, "lam-serve: online adaptation on (window %d, drift threshold %.2fx, min samples %d)\n",
+			*window, *driftThreshold, *minSamples)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.Handler(),

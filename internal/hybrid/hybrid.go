@@ -188,6 +188,14 @@ func TrainCtx(ctx context.Context, train *dataset.Dataset, am AnalyticalModel, c
 // raw vector, without the stacked analytical feature).
 func (m *Model) NumFeatures() int { return m.nFeatures }
 
+// Config returns the coupling configuration the model was trained (or
+// loaded) with. The online retrainer uses it to rebuild a drifted
+// model with the same mode/aggregation as the deployed artifact —
+// persistence stores these fields, so a registry-loaded model
+// round-trips its coupling exactly. NewML is not persisted; a zero
+// NewML retrains with the default extra-trees pipeline.
+func (m *Model) Config() Config { return m.cfg }
+
 // IsFitted reports whether the model carries a trained ML component.
 func (m *Model) IsFitted() bool { return m != nil && m.mlModel != nil }
 

@@ -13,16 +13,31 @@ func MAPE(yTrue, yPred []float64) float64 {
 	checkSameLen(yTrue, yPred)
 	s, n := 0.0, 0
 	for i := range yTrue {
-		if yTrue[i] == 0 {
+		ape, ok := APE(yTrue[i], yPred[i])
+		if !ok {
 			continue
 		}
-		s += math.Abs(yPred[i]-yTrue[i]) / math.Abs(yTrue[i])
+		s += ape
 		n++
 	}
 	if n == 0 {
 		return 0
 	}
-	return 100 * s / float64(n)
+	return s / float64(n)
+}
+
+// APE returns one sample's absolute percentage error, in percent, and
+// whether it is defined (zero truth has no percentage error — the
+// repository's responses are strictly positive execution times, so a
+// zero is a degenerate sample, skipped by the aggregate metrics). It is
+// the per-sample unit behind MedAPE and the online plane's sliding
+// accuracy window, which must score observations one at a time as they
+// stream in.
+func APE(yTrue, yPred float64) (float64, bool) {
+	if yTrue == 0 {
+		return 0, false
+	}
+	return 100 * math.Abs(yPred-yTrue) / math.Abs(yTrue), true
 }
 
 // MedAPE returns the median absolute percentage error, in percent.
@@ -30,10 +45,11 @@ func MedAPE(yTrue, yPred []float64) float64 {
 	checkSameLen(yTrue, yPred)
 	apes := make([]float64, 0, len(yTrue))
 	for i := range yTrue {
-		if yTrue[i] == 0 {
+		ape, ok := APE(yTrue[i], yPred[i])
+		if !ok {
 			continue
 		}
-		apes = append(apes, 100*math.Abs(yPred[i]-yTrue[i])/math.Abs(yTrue[i]))
+		apes = append(apes, ape)
 	}
 	if len(apes) == 0 {
 		return 0

@@ -1,0 +1,116 @@
+// Package online is the continuous-learning plane behind lam-serve: it
+// closes the loop the paper's hardware-transfer experiment motivates
+// (a deployed hybrid model collapses when the machine or workload
+// distribution shifts) by ingesting ground-truth observations, tracking
+// served accuracy over a sliding window, detecting drift against the
+// model's registry-recorded baseline, retraining in the background on
+// the merged (original + observed) data, and republishing a new
+// registry version only when it measurably improves — at which point
+// the serving layer hot-swaps to it.
+//
+// The plane is deliberately layered below HTTP: internal/serve feeds it
+// from POST /observe and exposes its state at GET /models/{name}/drift,
+// but the same Plane drives library-level replay (see the end-to-end
+// tests and cmd/lam-replay).
+package online
+
+import (
+	"lam/internal/ml"
+)
+
+// Sample is one ground-truth observation: the feature vector that was
+// served, the prediction the deployed model gave for it, and the
+// runtime that was then actually measured.
+type Sample struct {
+	X         []float64
+	Predicted float64
+	Observed  float64
+}
+
+// WindowStats is a point-in-time summary of a window.
+type WindowStats struct {
+	// Count is the number of samples currently held (≤ Capacity).
+	Count int `json:"count"`
+	// Capacity is the ring size.
+	Capacity int `json:"capacity"`
+	// MAPE is the rolling mean absolute percentage error of served
+	// prediction vs. observation over the held samples, in percent
+	// (zero-observation samples are skipped, as in ml.MAPE).
+	MAPE float64 `json:"mape"`
+	// Total is the lifetime number of samples ingested, including
+	// those the ring has since overwritten and pre-reset history.
+	Total uint64 `json:"total"`
+}
+
+// window is a bounded ring of the most recent samples for one model.
+// It is not internally synchronised: the Plane guards each model's
+// window with that model's state lock.
+type window struct {
+	buf   []Sample
+	next  int // ring write cursor
+	count int // samples held, ≤ len(buf)
+	total uint64
+}
+
+func newWindow(capacity int) *window {
+	return &window{buf: make([]Sample, capacity)}
+}
+
+// add appends one sample, overwriting the oldest once full. The
+// feature vector is copied: callers hand in request-scoped slices.
+func (w *window) add(s Sample) {
+	x := make([]float64, len(s.X))
+	copy(x, s.X)
+	s.X = x
+	w.buf[w.next] = s
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.total++
+}
+
+// stats recomputes the rolling MAPE over the held samples. An exact
+// O(count) pass per call (not an incremental float sum, which would
+// drift over unbounded streams); the mean is order-independent, so the
+// ring is read in place — no per-call allocation on the ingest path.
+func (w *window) stats() WindowStats {
+	st := WindowStats{Count: w.count, Capacity: len(w.buf), Total: w.total}
+	sum, n := 0.0, 0
+	for _, s := range w.buf[:w.count] {
+		ape, ok := ml.APE(s.Observed, s.Predicted)
+		if !ok {
+			continue
+		}
+		sum += ape
+		n++
+	}
+	if n > 0 {
+		st.MAPE = sum / float64(n)
+	}
+	return st
+}
+
+// snapshot returns an owned copy of the held samples, oldest first —
+// what the retrainer trains on after the state lock is released. The
+// feature vectors are shared (they were copied at add and never
+// mutated afterwards). A full ring's oldest sample sits at the write
+// cursor.
+func (w *window) snapshot() []Sample {
+	out := make([]Sample, 0, w.count)
+	if w.count < len(w.buf) {
+		return append(out, w.buf[:w.count]...)
+	}
+	out = append(out, w.buf[w.next:]...)
+	return append(out, w.buf[:w.next]...)
+}
+
+// reset discards the held samples (lifetime total is kept): called
+// when a retrained model is published, so the window measures the new
+// model from scratch instead of blending two models' errors.
+func (w *window) reset() {
+	w.next, w.count = 0, 0
+	for i := range w.buf {
+		w.buf[i] = Sample{}
+	}
+}

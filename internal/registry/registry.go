@@ -64,6 +64,13 @@ type Meta struct {
 	Machine string `json:"machine,omitempty"`
 	// TrainSize is the number of training samples.
 	TrainSize int `json:"train_size,omitempty"`
+	// BaseSize is the size of the model's original (pre-adaptation)
+	// training set; zero for directly trained artifacts, where
+	// TrainSize is the original size. The online retrainer carries it
+	// across generations so each retrain rebuilds a same-sized base
+	// instead of compounding previously merged window samples into an
+	// ever-growing source-distribution draw.
+	BaseSize int `json:"base_size,omitempty"`
 	// TestMAPE is the held-out MAPE (percent) measured at save time.
 	TestMAPE float64 `json:"test_mape,omitempty"`
 	// CreatedAt is the save timestamp (UTC).
@@ -313,6 +320,14 @@ func (r *Registry) readMeta(name string, version int) (Meta, error) {
 		return Meta{}, fmt.Errorf("registry: corrupt meta for %s v%d: %w", name, version, err)
 	}
 	return m, nil
+}
+
+// AnalyticalFor rebuilds the analytical component a stored hybrid
+// version carries, from its metadata — exactly what Load does
+// internally. The online retrainer uses it to retrain a drifted hybrid
+// against the same analytical model the deployed artifact serves with.
+func AnalyticalFor(meta Meta) (hybrid.AnalyticalModel, error) {
+	return amFor(meta.Workload, meta.Machine)
 }
 
 // amFor rebuilds the analytical model for a (workload, machine) pair.

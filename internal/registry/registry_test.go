@@ -191,6 +191,108 @@ func TestConcurrentSaves(t *testing.T) {
 	}
 }
 
+// TestConcurrentSaveStress is the publish-path guard for the online
+// retrainer: many goroutines spread over several independent Registry
+// handles on the same directory (the cross-process case — in-process
+// saveMu does not serialise them, only the rename-retry loop does)
+// hammer SaveHybrid on one name. Every save must land on its own
+// version, the version sequence must come out dense 1..N, and every
+// published version must be fully readable — meta.json consistent with
+// its directory and the artifact loadable (no torn publishes).
+func TestConcurrentSaveStress(t *testing.T) {
+	hy, X := trainFixture(t)
+	dir := t.TempDir()
+	const handles = 4
+	const savesPerHandle = 6
+	regs := make([]*Registry, handles)
+	for i := range regs {
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[i] = r
+	}
+
+	type result struct {
+		meta Meta
+		err  error
+	}
+	results := make([]result, handles*savesPerHandle)
+	var wg sync.WaitGroup
+	for h := 0; h < handles; h++ {
+		for s := 0; s < savesPerHandle; s++ {
+			wg.Add(1)
+			go func(h, s int) {
+				defer wg.Done()
+				meta, err := regs[h].SaveHybrid(hy, Meta{
+					Name: "stress", Workload: "stencil-grid", Machine: "bluewaters",
+					TrainSize: 14, TestMAPE: float64(h*savesPerHandle + s),
+				})
+				results[h*savesPerHandle+s] = result{meta, err}
+			}(h, s)
+		}
+	}
+	wg.Wait()
+
+	const total = handles * savesPerHandle
+	seen := make(map[int]bool, total)
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("save %d: %v", i, r.err)
+		}
+		if seen[r.meta.Version] {
+			t.Fatalf("version %d allocated twice", r.meta.Version)
+		}
+		seen[r.meta.Version] = true
+	}
+	for v := 1; v <= total; v++ {
+		if !seen[v] {
+			t.Fatalf("version sequence has a hole at v%d", v)
+		}
+	}
+	reg := regs[0]
+	if latest, err := reg.LatestVersion("stress"); err != nil || latest != total {
+		t.Fatalf("latest = %d (%v), want %d", latest, err, total)
+	}
+	// No torn meta: List (which reads every meta.json) must see all of
+	// them, each internally consistent.
+	metas, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != total {
+		t.Fatalf("List sees %d versions, want %d (a torn meta.json is skipped)", len(metas), total)
+	}
+	for _, m := range metas {
+		if m.Name != "stress" || m.Kind != KindHybrid || m.CreatedAt.IsZero() {
+			t.Fatalf("torn meta: %+v", m)
+		}
+		if on, err := reg.readMeta(m.Name, m.Version); err != nil || on.Version != m.Version {
+			t.Fatalf("meta for v%d reads back as %+v (%v)", m.Version, on, err)
+		}
+	}
+	// And the artifacts serve: spot-check first, middle, last.
+	want, err := hy.PredictBatchCtx(context.Background(), X[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, total / 2, total} {
+		lm, err := reg.Load("stress", v)
+		if err != nil {
+			t.Fatalf("loading v%d: %v", v, err)
+		}
+		got, err := lm.PredictBatch(context.Background(), X[:4])
+		if err != nil {
+			t.Fatalf("serving v%d: %v", v, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("v%d row %d: %v != %v", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestVersionDirParsing checks stray directories are ignored and
 // 5-digit versions round-trip (the zero-padding is a floor, not a
 // ceiling).

@@ -13,6 +13,7 @@ import (
 	"lam/internal/experiments"
 	"lam/internal/machine"
 	"lam/internal/ml"
+	"lam/internal/online"
 	"lam/internal/registry"
 )
 
@@ -76,6 +77,63 @@ func TestServeBatchZeroPerRowAllocations(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("serve batch path allocates %.1f per %d-row batch, want 0", allocs, len(X))
+	}
+}
+
+// TestServeBatchZeroPerRowAllocationsOnlineEnabled re-runs the
+// zero-allocation contract with the online adaptation plane attached
+// and actively ingesting, and — unlike the base test — it drives the
+// handler's actual serving sequence: hot-swap pointer resolution
+// (srv.load), pooled output checkout, batch scoring. Resolution costs
+// a small per-request constant (the latest-version directory scan),
+// so the assertion is the per-row contract: allocations must not grow
+// with the batch size.
+func TestServeBatchZeroPerRowAllocationsOnlineEnabled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	_, X, reg := loadedRegressorModel(t)
+	srv := New(reg)
+	srv.Workers = 1
+	plane := online.New(reg, online.Config{DisableRetrain: true, Workers: 1})
+	defer plane.Close()
+	srv.AttachOnline(plane)
+
+	ctx := context.Background()
+	// Populate the model's observation window so the plane is in its
+	// steady serving state, not a cold map.
+	lm, err := srv.load("grid-et", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, len(X))
+	if err := lm.PredictBatchInto(ctx, X, preds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plane.Observe(lm, X, preds, preds); err != nil {
+		t.Fatal(err)
+	}
+
+	servePath := func(rows [][]float64) float64 {
+		// Warm the scratch pool at this size before measuring.
+		out := ml.GetScratch(len(rows))
+		ml.PutScratch(out)
+		return testing.AllocsPerRun(50, func() {
+			m, err := srv.load("grid-et", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := ml.GetScratch(len(rows))
+			if err := m.PredictBatchInto(ctx, rows, *buf); err != nil {
+				t.Fatal(err)
+			}
+			ml.PutScratch(buf)
+		})
+	}
+	small, large := servePath(X[:64]), servePath(X)
+	if large > small {
+		t.Fatalf("online-enabled serve path allocates per row: %.1f allocs at 64 rows vs %.1f at %d rows",
+			small, large, len(X))
 	}
 }
 

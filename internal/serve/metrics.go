@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"lam/internal/online"
+)
+
+// Metrics is the server's counter set, exposed as a flat expvar-style
+// JSON document at GET /metrics. Counters are atomics: the predict hot
+// path increments them lock-free and allocation-free.
+type Metrics struct {
+	// PredictRequests counts POST /predict requests (single and batch).
+	PredictRequests atomic.Uint64
+	// PredictBatchRequests counts the batched subset.
+	PredictBatchRequests atomic.Uint64
+	// PredictRows counts scored rows across single and batch requests.
+	PredictRows atomic.Uint64
+	// PredictErrors counts /predict requests answered with an error.
+	PredictErrors atomic.Uint64
+	// PredictLatencyNs accumulates wall time spent in /predict
+	// handling (decode→encode); divide by PredictRequests for the mean.
+	PredictLatencyNs atomic.Uint64
+	// ObserveRequests / ObserveRows mirror the ingest endpoint.
+	ObserveRequests atomic.Uint64
+	ObserveRows     atomic.Uint64
+	ObserveErrors   atomic.Uint64
+	// ModelCacheHits / Misses count resolved-model lookups served from
+	// memory vs. loaded from disk (latest pointer and pinned cache).
+	ModelCacheHits   atomic.Uint64
+	ModelCacheMisses atomic.Uint64
+	// ModelCacheEvictions counts pinned-cache evictions.
+	ModelCacheEvictions atomic.Uint64
+	// ModelSwaps counts latest-pointer replacements — each is one hot
+	// swap of a newly published version.
+	ModelSwaps atomic.Uint64
+}
+
+// metricsSnapshot is the JSON shape of GET /metrics. Request counters
+// always present; the online section appears when the plane is
+// attached.
+type metricsSnapshot struct {
+	PredictRequests      uint64 `json:"predict_requests"`
+	PredictBatchRequests uint64 `json:"predict_batch_requests"`
+	PredictRows          uint64 `json:"predict_rows"`
+	PredictErrors        uint64 `json:"predict_errors"`
+	PredictLatencyNs     uint64 `json:"predict_latency_ns_total"`
+	ObserveRequests      uint64 `json:"observe_requests"`
+	ObserveRows          uint64 `json:"observe_rows"`
+	ObserveErrors        uint64 `json:"observe_errors"`
+	ModelCacheHits       uint64 `json:"model_cache_hits"`
+	ModelCacheMisses     uint64 `json:"model_cache_misses"`
+	ModelCacheEvictions  uint64 `json:"model_cache_evictions"`
+	ModelSwaps           uint64 `json:"model_swaps"`
+
+	Online *online.Counters `json:"online,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := &s.Metrics
+	snap := metricsSnapshot{
+		PredictRequests:      m.PredictRequests.Load(),
+		PredictBatchRequests: m.PredictBatchRequests.Load(),
+		PredictRows:          m.PredictRows.Load(),
+		PredictErrors:        m.PredictErrors.Load(),
+		PredictLatencyNs:     m.PredictLatencyNs.Load(),
+		ObserveRequests:      m.ObserveRequests.Load(),
+		ObserveRows:          m.ObserveRows.Load(),
+		ObserveErrors:        m.ObserveErrors.Load(),
+		ModelCacheHits:       m.ModelCacheHits.Load(),
+		ModelCacheMisses:     m.ModelCacheMisses.Load(),
+		ModelCacheEvictions:  m.ModelCacheEvictions.Load(),
+		ModelSwaps:           m.ModelSwaps.Load(),
+	}
+	if s.online != nil {
+		c := s.online.Counters()
+		snap.Online = &c
+	}
+	writeJSON(w, http.StatusOK, snap)
+}

@@ -9,27 +9,45 @@
 //
 //	GET  /healthz  — liveness: {"status":"ok","models":N}
 //	GET  /models   — every stored model version's metadata
+//	GET  /metrics  — request/cache/swap counters (+ online-plane
+//	                 counters when attached), flat JSON
 //	POST /predict  — {"model":"name","version":2,"x":[…]} or
 //	                 {"model":"name","batch":[[…],[…]]}
 //
+// With an online adaptation plane attached (AttachOnline; lam-serve
+// -online):
+//
+//	POST /observe              — ground-truth ingest: {"model":…,
+//	                             "x":[…],"y":0.12} or {"model":…,
+//	                             "batch":[[…]],"y_batch":[…]}
+//	GET  /models/{name}/drift  — the model's sliding-window accuracy,
+//	                             detector and retrain state
+//
 // The request context is threaded into the batch predictor, so a
 // dropped client connection cancels the in-flight prediction between
-// rows. Loaded models are cached per (name, version); "latest" is
-// re-resolved on every request so a new save becomes visible without a
-// restart.
+// rows. "Latest" requests are served through a per-name atomic model
+// pointer: a newly published version — whether written by an external
+// process or republished by the online plane's retrainer — is swapped
+// in without any lock on the predict path, so in-flight requests
+// finish on the old compiled ensemble while new requests get the new
+// one. Version-pinned requests go through a small bounded cache.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lam/internal/lamerr"
 	"lam/internal/ml"
+	"lam/internal/online"
 	"lam/internal/registry"
 )
 
@@ -39,7 +57,19 @@ type Server struct {
 	// Workers bounds per-request batch parallelism for regressor
 	// models; <= 0 means the process default.
 	Workers int
+	// Metrics is the server's counter set (GET /metrics). Zero value
+	// ready; exported so tests and embedders can read it.
+	Metrics Metrics
 
+	// online is the adaptation plane, nil until AttachOnline.
+	online *online.Plane
+
+	// latest holds one *atomic.Pointer[registry.Model] per name: the
+	// hot-swap slot "latest" requests read lock-free.
+	latest sync.Map
+
+	// mu guards the version-pinned cache only; the latest path never
+	// takes it.
 	mu    sync.RWMutex
 	cache map[string]*registry.Model // key: name@version
 }
@@ -49,35 +79,128 @@ func New(reg *registry.Registry) *Server {
 	return &Server{reg: reg, cache: make(map[string]*registry.Model)}
 }
 
+// AttachOnline wires an online adaptation plane into the server: the
+// /observe and /models/{name}/drift endpoints start serving, and every
+// version the plane's retrainer publishes is immediately swapped into
+// the latest pointer. Call before Handler.
+func (s *Server) AttachOnline(p *online.Plane) {
+	s.online = p
+	p.OnPublish = func(meta registry.Meta) {
+		// Warm and swap eagerly so the first post-publish request does
+		// not pay the deserialization; the per-request version check
+		// would pick the new version up regardless.
+		_, _ = s.Reload(meta.Name)
+	}
+}
+
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /predict", s.handlePredict)
+	if s.online != nil {
+		mux.HandleFunc("POST /observe", s.handleObserve)
+		mux.HandleFunc("GET /models/{name}/drift", s.handleDrift)
+	}
 	return mux
 }
 
-// load returns the cached model for (name, version), loading it on
-// first use. version <= 0 first resolves to the latest stored version
-// with a cheap directory scan — so "latest" requests still hit the
-// deserialized-model cache, and a newly published version is picked up
-// without a restart.
+// load returns the model for (name, version). version <= 0 means the
+// latest published version, served through the lock-free hot-swap
+// pointer; pinned versions go through the bounded cache.
 func (s *Server) load(name string, version int) (*registry.Model, error) {
 	if version <= 0 {
-		latest, err := s.reg.LatestVersion(name)
-		if err != nil {
-			return nil, err
+		return s.loadLatest(name)
+	}
+	return s.loadPinned(name, version)
+}
+
+// loadLatest resolves name's newest published version (one cheap
+// directory scan — no artifact read, no lock) and returns the model
+// behind the name's atomic pointer, swapping a fresh load in when the
+// pointer is stale. In-flight requests holding the previous *Model
+// keep using it untouched: a swap is publication, not mutation.
+func (s *Server) loadLatest(name string) (*registry.Model, error) {
+	latest, err := s.reg.LatestVersion(name)
+	if err != nil {
+		return nil, err
+	}
+	p := s.latestPtr(name)
+	if m := p.Load(); m != nil && m.Meta.Version >= latest {
+		s.Metrics.ModelCacheHits.Add(1)
+		return m, nil
+	}
+	return s.swapIn(name, latest)
+}
+
+func (s *Server) latestPtr(name string) *atomic.Pointer[registry.Model] {
+	if v, ok := s.latest.Load(name); ok {
+		return v.(*atomic.Pointer[registry.Model])
+	}
+	v, _ := s.latest.LoadOrStore(name, &atomic.Pointer[registry.Model]{})
+	return v.(*atomic.Pointer[registry.Model])
+}
+
+// swapIn loads (name, version) from disk and publishes it to the
+// name's latest pointer — unless a concurrent loader or publish got a
+// newer version there first, in which case that one wins and is
+// returned. Monotonicity means a client can never observe the served
+// version move backwards.
+func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
+	s.Metrics.ModelCacheMisses.Add(1)
+	m, err := s.reg.Load(name, version)
+	if err != nil {
+		return nil, err
+	}
+	m.Workers = s.Workers
+	p := s.latestPtr(name)
+	for {
+		cur := p.Load()
+		if cur != nil && cur.Meta.Version >= m.Meta.Version {
+			return cur, nil
 		}
-		version = latest
+		if p.CompareAndSwap(cur, m) {
+			if cur != nil {
+				s.Metrics.ModelSwaps.Add(1)
+			}
+			return m, nil
+		}
+	}
+}
+
+// Reload force-resolves name's latest registry version into the hot
+// pointer: the publish notification path of the online plane, also
+// usable by embedders after an out-of-band registry write.
+func (s *Server) Reload(name string) (*registry.Model, error) {
+	latest, err := s.reg.LatestVersion(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.swapIn(name, latest)
+}
+
+// loadPinned returns the cached model for an explicit (name, version),
+// loading it on first use. A pin of the version the hot-swap pointer
+// already serves as "latest" reuses that instance instead of holding a
+// second deserialized copy of the same ensemble.
+func (s *Server) loadPinned(name string, version int) (*registry.Model, error) {
+	if v, ok := s.latest.Load(name); ok {
+		if m := v.(*atomic.Pointer[registry.Model]).Load(); m != nil && m.Meta.Version == version {
+			s.Metrics.ModelCacheHits.Add(1)
+			return m, nil
+		}
 	}
 	key := fmt.Sprintf("%s@%d", name, version)
 	s.mu.RLock()
 	m := s.cache[key]
 	s.mu.RUnlock()
 	if m != nil {
+		s.Metrics.ModelCacheHits.Add(1)
 		return m, nil
 	}
+	s.Metrics.ModelCacheMisses.Add(1)
 	m, err := s.reg.Load(name, version)
 	if err != nil {
 		return nil, err
@@ -94,12 +217,10 @@ func (s *Server) load(name string, version int) (*registry.Model, error) {
 	return m, nil
 }
 
-// keepVersionsPerName bounds the cache per model name: the live
-// workflow republishes models while the server runs, and without
-// eviction every superseded deserialized ensemble would stay resident
-// forever. Two versions cover the steady state (latest plus one pinned
-// or draining predecessor); older pins are served correctly but reload
-// on each cache miss.
+// keepVersionsPerName bounds the pinned cache per model name: clients
+// pinning historic versions would otherwise keep every superseded
+// deserialized ensemble resident forever. Older pins are served
+// correctly but reload on each cache miss.
 const keepVersionsPerName = 2
 
 // evictOldLocked drops all but the newest keepVersionsPerName cached
@@ -118,6 +239,7 @@ func (s *Server) evictOldLocked(name string) {
 	sort.Ints(versions)
 	for _, v := range versions[:len(versions)-keepVersionsPerName] {
 		delete(s.cache, fmt.Sprintf("%s@%d", name, v))
+		s.Metrics.ModelCacheEvictions.Add(1)
 	}
 }
 
@@ -233,44 +355,166 @@ type predictResponse struct {
 // body is the only per-row cost left).
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.Metrics.PredictRequests.Add(1)
+	defer func() { s.Metrics.PredictLatencyNs.Add(uint64(time.Since(start))) }()
+	fail := func(err error) {
+		s.Metrics.PredictErrors.Add(1)
+		writeError(w, err)
+	}
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("serve: %w: %w", lamerr.ErrBadRequest, err))
+		fail(fmt.Errorf("serve: %w: %w", lamerr.ErrBadRequest, err))
 		return
 	}
 	if req.Model == "" {
-		writeError(w, fmt.Errorf("serve: %w: missing \"model\"", lamerr.ErrBadRequest))
+		fail(fmt.Errorf("serve: %w: missing \"model\"", lamerr.ErrBadRequest))
 		return
 	}
 	single := req.X != nil
 	if single == (len(req.Batch) > 0) {
-		writeError(w, fmt.Errorf("serve: %w: exactly one of \"x\" and \"batch\" must be set", lamerr.ErrBadRequest))
+		fail(fmt.Errorf("serve: %w: exactly one of \"x\" and \"batch\" must be set", lamerr.ErrBadRequest))
 		return
 	}
 	m, err := s.load(req.Model, req.Version)
 	if err != nil {
-		writeError(w, err)
+		fail(err)
 		return
 	}
 	resp := predictResponse{Model: m.Meta.Name, Version: m.Meta.Version}
 	if single {
 		y, err := m.Predict(r.Context(), req.X)
 		if err != nil {
-			writeError(w, predictError(err))
+			fail(predictError(err))
 			return
 		}
+		s.Metrics.PredictRows.Add(1)
 		resp.Y = &y
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	s.Metrics.PredictBatchRequests.Add(1)
 	buf := ml.GetScratch(len(req.Batch))
 	defer ml.PutScratch(buf)
 	if err := m.PredictBatchInto(r.Context(), req.Batch, *buf); err != nil {
-		writeError(w, predictError(err))
+		fail(predictError(err))
 		return
 	}
+	s.Metrics.PredictRows.Add(uint64(len(req.Batch)))
 	resp.YBatch = *buf
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// observeRequest carries ground-truth observations: each feature
+// vector paired with the runtime actually measured for it. Exactly one
+// of (X, Y) and (Batch, YBatch) must be set.
+type observeRequest struct {
+	// Model is the registry name. Required. Observations are always
+	// scored against the latest served version.
+	Model string `json:"model"`
+	// X, Y is a single observation.
+	X []float64 `json:"x,omitempty"`
+	Y *float64  `json:"y,omitempty"`
+	// Batch, YBatch is a batched observation stream.
+	Batch  [][]float64 `json:"batch,omitempty"`
+	YBatch []float64   `json:"y_batch,omitempty"`
+}
+
+// observeResponse reports what was ingested and the model's resulting
+// adaptation state — enough for a replay client to watch the drift
+// detector trip and the retrained version publish without polling a
+// second endpoint.
+type observeResponse struct {
+	Model    string        `json:"model"`
+	Version  int           `json:"version"`
+	Ingested int           `json:"ingested"`
+	Drift    online.Status `json:"drift"`
+}
+
+// handleObserve scores each observed feature vector with the current
+// latest model (the "served prediction" half of the window's rolling
+// accuracy) and feeds the (x, predicted, observed) triples to the
+// online plane. Drift detection and any resulting background retrain
+// happen inside the plane; the response carries the updated status.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	s.Metrics.ObserveRequests.Add(1)
+	fail := func(err error) {
+		s.Metrics.ObserveErrors.Add(1)
+		writeError(w, err)
+	}
+	var req observeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(fmt.Errorf("serve: %w: %w", lamerr.ErrBadRequest, err))
+		return
+	}
+	if req.Model == "" {
+		fail(fmt.Errorf("serve: %w: missing \"model\"", lamerr.ErrBadRequest))
+		return
+	}
+	single := req.X != nil || req.Y != nil
+	batch := len(req.Batch) > 0 || len(req.YBatch) > 0
+	if single == batch {
+		fail(fmt.Errorf("serve: %w: exactly one of (\"x\",\"y\") and (\"batch\",\"y_batch\") must be set", lamerr.ErrBadRequest))
+		return
+	}
+	var X [][]float64
+	var obs []float64
+	if single {
+		if req.X == nil || req.Y == nil {
+			fail(fmt.Errorf("serve: %w: a single observation needs both \"x\" and \"y\"", lamerr.ErrBadRequest))
+			return
+		}
+		X, obs = [][]float64{req.X}, []float64{*req.Y}
+	} else {
+		if len(req.Batch) != len(req.YBatch) {
+			fail(fmt.Errorf("serve: %w: %d feature rows but %d observed runtimes",
+				lamerr.ErrBadRequest, len(req.Batch), len(req.YBatch)))
+			return
+		}
+		X, obs = req.Batch, req.YBatch
+	}
+	for i, y := range obs {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			fail(fmt.Errorf("serve: %w: observation %d is not finite", lamerr.ErrBadRequest, i))
+			return
+		}
+	}
+	m, err := s.load(req.Model, 0)
+	if err != nil {
+		fail(err)
+		return
+	}
+	buf := ml.GetScratch(len(X))
+	defer ml.PutScratch(buf)
+	if err := m.PredictBatchInto(r.Context(), X, *buf); err != nil {
+		fail(predictError(err))
+		return
+	}
+	status, err := s.online.Observe(m, X, *buf, obs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.Metrics.ObserveRows.Add(uint64(len(X)))
+	writeJSON(w, http.StatusOK, observeResponse{
+		Model:    m.Meta.Name,
+		Version:  m.Meta.Version,
+		Ingested: len(X),
+		Drift:    status,
+	})
+}
+
+// handleDrift reports the adaptation state of a model's latest served
+// version.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	m, err := s.load(r.PathValue("name"), 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.online.Status(m))
 }

@@ -264,6 +264,8 @@ func TestCacheEviction(t *testing.T) {
 		if _, err := reg.SaveHybrid(hy, meta); err != nil {
 			t.Fatal(err)
 		}
+		// Latest resolution rides the hot-swap pointer, not the pinned
+		// cache — it must still track each publish.
 		lm, err := srv.load("m", 0)
 		if err != nil {
 			t.Fatal(err)
@@ -272,11 +274,34 @@ func TestCacheEviction(t *testing.T) {
 			t.Fatalf("publish %d served v%d", i+1, lm.Meta.Version)
 		}
 	}
+	// Pinning the version the hot pointer serves must reuse its
+	// instance, not deserialize a second copy.
+	latest, err := srv.load("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedLatest, err := srv.load("m", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinnedLatest != latest {
+		t.Fatal("pin of the current latest loaded a duplicate instance")
+	}
+	// Pin the superseded versions: this is the path the bounded cache
+	// serves and evicts.
+	for v := 1; v <= 4; v++ {
+		if _, err := srv.load("m", v); err != nil {
+			t.Fatal(err)
+		}
+	}
 	srv.mu.RLock()
 	cached := len(srv.cache)
 	srv.mu.RUnlock()
 	if cached > keepVersionsPerName {
 		t.Fatalf("cache holds %d versions, want <= %d", cached, keepVersionsPerName)
+	}
+	if ev := srv.Metrics.ModelCacheEvictions.Load(); ev < 2 {
+		t.Fatalf("evicted %d pinned versions, want >= 2", ev)
 	}
 	// Pinned old versions still load correctly (just uncached).
 	lm, err := srv.load("m", 1)

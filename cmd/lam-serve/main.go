@@ -6,8 +6,17 @@
 // Usage:
 //
 //	lam-serve -registry ./models [-addr :8080] [-workers N]
+//	         [-max-batch 32] [-max-delay 1ms]
+//	         [-max-inflight 0] [-queue 64]
 //	         [-online] [-window 512] [-drift-threshold 1.5]
 //	         [-min-samples 64] [-holdout 0.25]
+//
+// Throughput knobs: -max-batch/-max-delay micro-batch concurrent
+// single-row /predict requests into one compiled-plane batch (bit
+// identical to unbatched scoring; <= 1 disables); -max-inflight/-queue
+// bound concurrency and shed overload with 429 + Retry-After (0
+// disables admission control). See the README's "Capacity planning &
+// tuning" section and cmd/lam-loadgen for measuring the effect.
 //
 // Endpoints:
 //
@@ -56,6 +65,10 @@ func main() {
 	regDir := flag.String("registry", "", "model registry directory (required; see lam-predict -registry)")
 	workers := flag.Int("workers", 0, "worker pool size for batch prediction (0 = GOMAXPROCS, 1 = sequential)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	maxBatch := flag.Int("max-batch", 32, "coalesce up to this many concurrent single-row /predict requests into one batch (<= 1 disables)")
+	maxDelay := flag.Duration("max-delay", time.Millisecond, "longest a coalesced request waits for batch-mates before a partial flush")
+	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently served /predict requests (0 disables admission control)")
+	queueLen := flag.Int("queue", 64, "requests allowed to wait for an in-flight slot beyond -max-inflight; a full queue sheds with 429")
 	onlineOn := flag.Bool("online", false, "enable the online adaptation plane (/observe ingest, drift detection, background retrain, hot swap)")
 	window := flag.Int("window", 512, "online: per-model observation window size")
 	driftThreshold := flag.Float64("drift-threshold", 1.5, "online: trip when windowed MAPE exceeds this factor × the model's recorded test MAPE")
@@ -87,6 +100,14 @@ func main() {
 
 	s := serve.New(reg)
 	s.Workers = *workers
+	s.Coalesce = serve.CoalesceConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
+	s.Admit = serve.AdmitConfig{MaxInflight: *maxInflight, Queue: *queueLen}
+	if s.Coalesce.MaxBatch > 1 {
+		fmt.Fprintf(os.Stderr, "lam-serve: coalescing single-row predicts (max batch %d, max delay %s)\n", *maxBatch, *maxDelay)
+	}
+	if *maxInflight > 0 {
+		fmt.Fprintf(os.Stderr, "lam-serve: admission control on (max inflight %d, queue %d)\n", *maxInflight, *queueLen)
+	}
 	if *onlineOn {
 		plane := online.New(reg, online.Config{
 			WindowSize: *window,

@@ -1,0 +1,56 @@
+package lam
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images and captures the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve walks every markdown file in the repository root
+// and docs/ and asserts that each intra-repo link target exists — the
+// docs plane's equivalent of a compile check. External URLs and pure
+// anchors are skipped; `path#anchor` links are checked for the path
+// half.
+func TestDocLinksResolve(t *testing.T) {
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found only %d markdown files — the glob set is broken", len(files))
+	}
+	for _, file := range files {
+		if filepath.Base(file) == "SNIPPETS.md" {
+			// Verbatim exemplar excerpts from other repositories; their
+			// internal links point into those repos, not this one.
+			continue
+		}
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", file, m[1], err)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package ml is a from-scratch, dependency-free implementation of the
+// supervised regression estimators the paper takes from scikit-learn
+// (Section V): CART decision trees, random forests, extremely randomized
+// trees (extra trees), bagging and stacking ensembles, plus the
+// supporting cast — ordinary/ridge linear regression, k-nearest
+// neighbours, feature standardization, regression metrics (MAPE first
+// and foremost) and k-fold cross-validation.
+//
+// All estimators are deterministic given their Seed, and fit in memory
+// on the dataset sizes the paper uses (10^3–10^5 samples).
+//
+// Contracts callers rely on:
+//
+//   - Determinism: fitting and prediction are bit-identical for every
+//     worker count — parallel loops write results by index and derive
+//     per-unit seeds before fan-out (see internal/parallel).
+//   - Batch/single equivalence: PredictBatch(X) equals len(X)
+//     sequential Predict calls bit for bit, even where the compiled
+//     plane scores batches tree-major for cache locality. The serving
+//     layer's micro-batch coalescer is built on this guarantee.
+//   - The *Into contract: PredictBatchInto-style variants
+//     (PredictBatchInto/PredictBatchIntoCtx, estimator
+//     PredictBatchInto methods, GradientBoosting.StagedPredictInto)
+//     write into a caller-owned output slice of exactly len(X)
+//     elements and perform zero allocations per call in steady state
+//     with Workers == 1 — single-row scratch (pipeline scaling rows,
+//     stacking meta-features) comes from sync.Pools (GetScratch /
+//     PutScratch). This is the allocation-free path lam-serve feeds
+//     its pooled response buffers through; TestPredictAllocationFree
+//     and the serve-side AllocsPerRun guards enforce it in CI.
+//   - Fitted estimators are immutable: after a successful Fit, Predict
+//     and PredictBatch are safe for unbounded concurrent use, which is
+//     what lets the server hot-swap model versions under live traffic.
+package ml

@@ -1,13 +1,3 @@
-// Package ml is a from-scratch, dependency-free implementation of the
-// supervised regression estimators the paper takes from scikit-learn
-// (Section V): CART decision trees, random forests, extremely randomized
-// trees (extra trees), bagging and stacking ensembles, plus the
-// supporting cast — ordinary/ridge linear regression, k-nearest
-// neighbours, feature standardization, regression metrics (MAPE first
-// and foremost) and k-fold cross-validation.
-//
-// All estimators are deterministic given their Seed, and fit in memory
-// on the dataset sizes the paper uses (10^3–10^5 samples).
 package ml
 
 import (

@@ -1,0 +1,33 @@
+// Package online is the continuous-learning plane behind lam-serve: it
+// closes the loop the paper's hardware-transfer experiment motivates
+// (a deployed hybrid model collapses when the machine or workload
+// distribution shifts) by ingesting ground-truth observations, tracking
+// served accuracy over a sliding window, detecting drift against the
+// model's registry-recorded baseline, retraining in the background on
+// the merged (original + observed) data, and republishing a new
+// registry version only when it measurably improves — at which point
+// the serving layer hot-swaps to it.
+//
+// The plane is deliberately layered below HTTP: internal/serve feeds it
+// from POST /observe and exposes its state at GET /models/{name}/drift,
+// but the same Plane drives library-level replay (see the end-to-end
+// tests and cmd/lam-replay).
+//
+// Contracts callers rely on:
+//
+//   - Ingest is bounded: each model's window is a fixed-size ring, so
+//     memory does not grow with stream length, and Observe never
+//     blocks on retraining.
+//   - Retraining is bounded to one run in flight per model
+//     (ErrRetrainInFlight reports a second on-demand request) and is
+//     cancellable via Plane.Close.
+//   - Publication is monotone and judged: a retrained candidate is
+//     compared against the deployed model on a held-out slice of the
+//     window and published — as a new, higher registry version — only
+//     on improvement, so the served model never silently regresses.
+//     The serving layer's hot swap (serve.Server) is likewise
+//     monotone: the served version number never moves backwards.
+//   - The detector has hysteresis (DegradeFactor to trip,
+//     RecoverFactor to re-arm) plus MinSamples and MinMAPE guards, so
+//     a handful of noisy observations cannot flap it.
+package online

@@ -1,17 +1,3 @@
-// Package online is the continuous-learning plane behind lam-serve: it
-// closes the loop the paper's hardware-transfer experiment motivates
-// (a deployed hybrid model collapses when the machine or workload
-// distribution shifts) by ingesting ground-truth observations, tracking
-// served accuracy over a sliding window, detecting drift against the
-// model's registry-recorded baseline, retraining in the background on
-// the merged (original + observed) data, and republishing a new
-// registry version only when it measurably improves — at which point
-// the serving layer hot-swaps to it.
-//
-// The plane is deliberately layered below HTTP: internal/serve feeds it
-// from POST /observe and exposes its state at GET /models/{name}/drift,
-// but the same Plane drives library-level replay (see the end-to-end
-// tests and cmd/lam-replay).
 package online
 
 import (

@@ -1,0 +1,29 @@
+// Package registry stores versioned trained-model artifacts on disk,
+// unifying the repository's ad-hoc Save/Load paths (ml.SaveModel,
+// hybrid.Model.Save) behind one layout with metadata. It is the
+// storage backend of the lam-serve prediction service and of the
+// -registry flag on lam-predict.
+//
+// Layout (one directory per model name, one per version):
+//
+//	<root>/<name>/v0001/meta.json   — Meta: kind, workload, machine, …
+//	<root>/<name>/v0001/model.json  — the serialised model artifact
+//	<root>/<name>/v0002/…
+//
+// Contracts callers rely on:
+//
+//   - Versions auto-increment on save, are dense from 1, and are never
+//     rewritten; writes go through a temporary directory renamed into
+//     place, so a crashed or concurrent save can never produce a
+//     half-readable version. Multiple Registry handles on one
+//     directory may save concurrently.
+//   - Loading a hybrid model reconstructs its analytical component
+//     from the (workload, machine) metadata, exactly as at training
+//     time — which is what the old hybrid.Load required every caller
+//     to hand-wire.
+//   - A loaded Model satisfies the facade's context-first Predictor
+//     interface, decodes tree ensembles straight into the compiled
+//     plane's flat node tables, and its PredictBatchInto is the
+//     allocation-free serving path: batch output is bit-identical to
+//     sequential Predict calls for every worker count.
+package registry

@@ -1,21 +1,3 @@
-// Package registry stores versioned trained-model artifacts on disk,
-// unifying the repository's ad-hoc Save/Load paths (ml.SaveModel,
-// hybrid.Model.Save) behind one layout with metadata. It is the
-// storage backend of the lam-serve prediction service and of the
-// -registry flag on lam-predict.
-//
-// Layout (one directory per model name, one per version):
-//
-//	<root>/<name>/v0001/meta.json   — Meta: kind, workload, machine, …
-//	<root>/<name>/v0001/model.json  — the serialised model artifact
-//	<root>/<name>/v0002/…
-//
-// Versions auto-increment on save and are never rewritten; writes go
-// through a temporary directory renamed into place, so a crashed save
-// can never produce a half-readable version. Loading a hybrid model
-// reconstructs its analytical component from the (workload, machine)
-// metadata, exactly as at training time — which is what the old
-// hybrid.Load required every caller to hand-wire.
 package registry
 
 import (

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lam/internal/lamerr"
+)
+
+// AdmitConfig bounds /predict concurrency: MaxInflight requests may
+// execute at once, Queue more may wait for a slot, and everything
+// beyond that is shed immediately with 429 + Retry-After. Shedding is
+// the overload contract — a client gets a fast, honest "try again"
+// instead of an unbounded queueing delay, and the server's memory and
+// latency stay bounded no matter the offered load.
+type AdmitConfig struct {
+	// MaxInflight is the number of /predict requests allowed to execute
+	// concurrently (including time spent waiting inside the coalescer).
+	// <= 0 disables admission control entirely.
+	MaxInflight int
+	// Queue is the number of requests beyond MaxInflight allowed to
+	// wait for an in-flight slot. <= 0 means no waiting room: every
+	// request past the in-flight budget is shed.
+	Queue int
+}
+
+func (c AdmitConfig) enabled() bool { return c.MaxInflight > 0 }
+
+// errOverloaded is the shed signal mapped to 429 by the handler.
+var errOverloaded = errors.New("server overloaded: in-flight and queue budgets exhausted")
+
+// admission is a semaphore with a bounded wait queue. The fast path
+// (a free slot) is one non-blocking channel send; the queue is
+// accounted with an atomic gauge so /metrics can report live and peak
+// depth.
+type admission struct {
+	cfg     AdmitConfig
+	slots   chan struct{}
+	metrics *Metrics
+}
+
+func newAdmission(cfg AdmitConfig, m *Metrics) *admission {
+	return &admission{cfg: cfg, slots: make(chan struct{}, cfg.MaxInflight), metrics: m}
+}
+
+// admit acquires an in-flight slot, waiting in the bounded queue if
+// necessary. It returns a release func on success; errOverloaded when
+// both the in-flight budget and the queue are full; a cancellation
+// error if the client gives up while queued.
+func (a *admission) admit(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	// All slots busy: claim a queue place or shed. The gauge is the
+	// queue — claiming is a bounded atomic increment, so a burst can
+	// never grow the waiting set past cfg.Queue.
+	for {
+		d := a.metrics.QueueDepth.Load()
+		if d >= int64(a.cfg.Queue) {
+			a.metrics.Shed.Add(1)
+			return nil, errOverloaded
+		}
+		if a.metrics.QueueDepth.CompareAndSwap(d, d+1) {
+			a.metrics.QueuePeakDepth.max(d + 1)
+			break
+		}
+	}
+	defer a.metrics.QueueDepth.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: %w: %w", lamerr.ErrCancelled, ctx.Err())
+	}
+}
+
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"lam/internal/lamerr"
+	"lam/internal/ml"
+	"lam/internal/registry"
+)
+
+// CoalesceConfig tunes micro-batch coalescing of single-row /predict
+// requests. Concurrent single-row requests that resolve to the same
+// loaded model are queued and flushed as one batch when either
+// MaxBatch rows have accumulated or MaxDelay has elapsed since the
+// first row arrived — whichever comes first. Batch scoring is
+// bit-identical to row-at-a-time scoring (the internal/ml contract),
+// so coalescing is invisible to clients except as latency/throughput.
+type CoalesceConfig struct {
+	// MaxBatch is the flush size: a batch is scored as soon as this
+	// many rows are waiting. <= 1 disables coalescing entirely.
+	MaxBatch int
+	// MaxDelay bounds how long the first row of a batch waits for
+	// batch-mates before the partial batch is flushed anyway; it is the
+	// worst-case latency coalescing can add to a request. <= 0 means
+	// 1ms.
+	MaxDelay time.Duration
+}
+
+func (c CoalesceConfig) enabled() bool { return c.MaxBatch > 1 }
+
+func (c CoalesceConfig) normalized() CoalesceConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Millisecond
+	}
+	return c
+}
+
+// coalescer accumulates concurrent single-row requests into per-model
+// batches. Keying by loaded *registry.Model (not by name) means a hot
+// swap naturally starts a fresh batch for the new version while rows
+// already queued flush on the model they were admitted against — the
+// same finish-on-the-old-version semantics in-flight batch requests
+// get.
+type coalescer struct {
+	cfg     CoalesceConfig
+	metrics *Metrics
+
+	mu      sync.Mutex
+	pending map[*registry.Model]*pendingBatch
+}
+
+// flushResult is one waiter's share of a flushed batch.
+type flushResult struct {
+	y   float64
+	err error
+}
+
+// pendingBatch is a batch still accumulating rows. Waiter channels are
+// buffered so the flusher never blocks on a departed client.
+type pendingBatch struct {
+	rows    [][]float64
+	waiters []chan flushResult
+	timer   *time.Timer
+}
+
+func newCoalescer(cfg CoalesceConfig, m *Metrics) *coalescer {
+	return &coalescer{
+		cfg:     cfg.normalized(),
+		metrics: m,
+		pending: make(map[*registry.Model]*pendingBatch),
+	}
+}
+
+// predict enqueues one row for model m and blocks until its batch is
+// flushed (by size or by timer) and the row's result fans back out.
+// Cancellation abandons the wait, never the batch: the row is scored
+// and discarded, so batch-mates are unaffected.
+func (c *coalescer) predict(ctx context.Context, m *registry.Model, x []float64) (float64, error) {
+	ch := make(chan flushResult, 1)
+	c.mu.Lock()
+	b := c.pending[m]
+	if b == nil {
+		b = &pendingBatch{}
+		c.pending[m] = b
+		// The timer flush handles the trickle case: a lone request
+		// waits at most MaxDelay before being scored solo.
+		b.timer = time.AfterFunc(c.cfg.MaxDelay, func() { c.flushTimer(m, b) })
+	}
+	b.rows = append(b.rows, x)
+	b.waiters = append(b.waiters, ch)
+	full := len(b.rows) >= c.cfg.MaxBatch
+	if full {
+		delete(c.pending, m)
+		b.timer.Stop()
+	}
+	c.mu.Unlock()
+	if full {
+		// The goroutine that completed the batch scores it; the other
+		// members just wait on their channels.
+		c.flush(m, b)
+	}
+	select {
+	case res := <-ch:
+		return res.y, res.err
+	case <-ctx.Done():
+		return 0, fmt.Errorf("serve: %w: %w", lamerr.ErrCancelled, ctx.Err())
+	}
+}
+
+// flushTimer is the MaxDelay path. The batch may have been flushed by
+// size (and a new one started under the same key) between the timer
+// firing and the lock being taken, so it flushes only the exact batch
+// it was armed for.
+func (c *coalescer) flushTimer(m *registry.Model, b *pendingBatch) {
+	c.mu.Lock()
+	if c.pending[m] != b {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, m)
+	c.mu.Unlock()
+	c.flush(m, b)
+}
+
+// flush scores the coalesced rows as one batch into a pooled buffer
+// and fans the results back out. The flush context is deliberately not
+// any single request's: one disconnecting client must not cancel its
+// batch-mates. If the batch call fails, every row is re-scored
+// individually so one bad row cannot poison the batch — each waiter
+// receives exactly the value or error a direct single-row call would
+// have produced, which is the "never a wrong answer" half of the
+// coalescing contract.
+func (c *coalescer) flush(m *registry.Model, b *pendingBatch) {
+	c.metrics.CoalesceFlushes.Add(1)
+	c.metrics.CoalesceRows.Add(uint64(len(b.rows)))
+	c.metrics.CoalesceMaxFlush.max(uint64(len(b.rows)))
+	buf := ml.GetScratch(len(b.rows))
+	defer ml.PutScratch(buf)
+	if err := m.PredictBatchInto(context.Background(), b.rows, *buf); err == nil {
+		for i, ch := range b.waiters {
+			ch <- flushResult{y: (*buf)[i]}
+		}
+		return
+	}
+	for i, ch := range b.waiters {
+		y, err := m.Predict(context.Background(), b.rows[i])
+		ch <- flushResult{y: y, err: err}
+	}
+}

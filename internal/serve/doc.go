@@ -1,0 +1,62 @@
+// Package serve is the HTTP prediction service behind cmd/lam-serve:
+// a JSON API that loads trained models from a registry
+// (internal/registry) and answers single and batched prediction
+// requests bit-identical to the equivalent library calls — the handler
+// funnels every request through the same registry.Model batch path the
+// library exposes, so there is exactly one prediction code path.
+//
+// Endpoints:
+//
+//	GET  /healthz  — liveness: {"status":"ok","models":N}
+//	GET  /models   — every stored model version's metadata
+//	GET  /metrics  — request/coalesce/shed/cache/swap counters and the
+//	                 /predict latency histogram (+ online-plane
+//	                 counters when attached), flat JSON
+//	POST /predict  — {"model":"name","version":2,"x":[…]} or
+//	                 {"model":"name","batch":[[…],[…]]}
+//
+// With an online adaptation plane attached (AttachOnline; lam-serve
+// -online):
+//
+//	POST /observe              — ground-truth ingest: {"model":…,
+//	                             "x":[…],"y":0.12} or {"model":…,
+//	                             "batch":[[…]],"y_batch":[…]}
+//	GET  /models/{name}/drift  — the model's sliding-window accuracy,
+//	                             detector and retrain state
+//
+// # Throughput plane
+//
+// Two optional layers sit in front of the prediction path; both are
+// configured on Server before Handler is called and both default off.
+//
+// Micro-batch coalescing (CoalesceConfig): concurrent single-row
+// /predict requests that resolve to the same loaded model are queued
+// and scored as one batch — flushed when MaxBatch rows accumulate or
+// MaxDelay (default 1ms) elapses, whichever is first — then fanned
+// back out to their requests. Because batch prediction is bit-identical
+// to row-at-a-time prediction for every estimator in this repository
+// (the internal/parallel and internal/ml determinism contract), a
+// coalesced response is byte-for-byte the response the request would
+// have received alone; coalescing trades at most MaxDelay of added
+// latency for the compiled plane's tree-major batch throughput. If a
+// batch fails, rows are re-scored individually so a malformed row
+// returns its own error and never poisons batch-mates.
+//
+// Admission control (AdmitConfig): at most MaxInflight /predict
+// requests execute concurrently, at most Queue more wait for a slot,
+// and everything beyond is shed immediately with 429 + Retry-After —
+// never a wrong or late answer. Queue depth, its high-water mark, and
+// the shed count are exported via /metrics.
+//
+// The request context is threaded into the batch predictor, so a
+// dropped client connection cancels the in-flight prediction between
+// rows (a coalesced row is the exception: its flush completes on a
+// background context so batch-mates are unaffected, and only the wait
+// is abandoned). "Latest" requests are served through a per-name
+// atomic model pointer: a newly published version — whether written by
+// an external process or republished by the online plane's retrainer —
+// is swapped in without any lock on the predict path, so in-flight
+// requests finish on the old compiled ensemble while new requests get
+// the new one, and the served version never moves backwards.
+// Version-pinned requests go through a small bounded cache.
+package serve

@@ -3,9 +3,52 @@ package serve
 import (
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"lam/internal/online"
 )
+
+// maxUint64 is an atomic high-water-mark tracker.
+type maxUint64 struct{ atomic.Uint64 }
+
+func (g *maxUint64) max(v uint64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// maxInt64 is an atomic high-water-mark tracker for signed gauges.
+type maxInt64 struct{ atomic.Int64 }
+
+func (g *maxInt64) max(v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// latencyBucketBoundsNs are the upper bounds (inclusive, nanoseconds)
+// of the /predict latency histogram; the final implicit bucket is
+// +Inf. Quarter-millisecond through one second in 4x steps covers
+// everything from a coalesced cache-hot single row to a worst-case
+// cold batch.
+var latencyBucketBoundsNs = [...]uint64{
+	250_000,       // 0.25ms
+	1_000_000,     // 1ms
+	4_000_000,     // 4ms
+	16_000_000,    // 16ms
+	64_000_000,    // 64ms
+	256_000_000,   // 256ms
+	1_000_000_000, // 1s
+}
+
+// numLatencyBuckets includes the +Inf overflow bucket.
+const numLatencyBuckets = len(latencyBucketBoundsNs) + 1
 
 // Metrics is the server's counter set, exposed as a flat expvar-style
 // JSON document at GET /metrics. Counters are atomics: the predict hot
@@ -18,10 +61,18 @@ type Metrics struct {
 	// PredictRows counts scored rows across single and batch requests.
 	PredictRows atomic.Uint64
 	// PredictErrors counts /predict requests answered with an error.
+	// Shed requests (429) are deliberate and counted in Shed instead.
 	PredictErrors atomic.Uint64
 	// PredictLatencyNs accumulates wall time spent in /predict
 	// handling (decode→encode); divide by PredictRequests for the mean.
 	PredictLatencyNs atomic.Uint64
+	// PredictLatencyBuckets is the /predict latency histogram. Stored
+	// counts are per-interval (bucket i counts requests in
+	// (latencyBucketBoundsNs[i-1], latencyBucketBoundsNs[i]]; the last
+	// bucket is the +Inf overflow) so the hot path is one increment;
+	// the /metrics JSON accumulates them into cumulative
+	// Prometheus-style le_ns counts.
+	PredictLatencyBuckets [numLatencyBuckets]atomic.Uint64
 	// ObserveRequests / ObserveRows mirror the ingest endpoint.
 	ObserveRequests atomic.Uint64
 	ObserveRows     atomic.Uint64
@@ -35,43 +86,113 @@ type Metrics struct {
 	// ModelSwaps counts latest-pointer replacements — each is one hot
 	// swap of a newly published version.
 	ModelSwaps atomic.Uint64
+
+	// CoalescedRequests counts single-row /predict requests that went
+	// through the micro-batch coalescer (every single when coalescing
+	// is on).
+	CoalescedRequests atomic.Uint64
+	// CoalesceFlushes counts scored batches; CoalesceRows the rows in
+	// them. CoalesceRows / CoalesceFlushes is the mean flush size — the
+	// number to watch when tuning MaxBatch/MaxDelay.
+	CoalesceFlushes atomic.Uint64
+	CoalesceRows    atomic.Uint64
+	// CoalesceMaxFlush is the largest flush observed; it can never
+	// exceed the configured MaxBatch.
+	CoalesceMaxFlush maxUint64
+
+	// Shed counts requests rejected with 429 because both the in-flight
+	// budget and the wait queue were full.
+	Shed atomic.Uint64
+	// QueueDepth is the live number of requests waiting for an
+	// in-flight slot; QueuePeakDepth its high-water mark. The depth can
+	// never exceed the configured Queue.
+	QueueDepth     atomic.Int64
+	QueuePeakDepth maxInt64
+}
+
+// observePredictLatency records one /predict round into the total and
+// the histogram.
+func (m *Metrics) observePredictLatency(d time.Duration) {
+	ns := uint64(d)
+	m.PredictLatencyNs.Add(ns)
+	for i, b := range latencyBucketBoundsNs {
+		if ns <= b {
+			m.PredictLatencyBuckets[i].Add(1)
+			return
+		}
+	}
+	m.PredictLatencyBuckets[numLatencyBuckets-1].Add(1)
+}
+
+// latencyBucket is one histogram entry in the /metrics JSON: Count is
+// cumulative — the number of requests that took <= LeNs. LeNs nil
+// marks the +Inf bucket, whose count equals the total request count.
+type latencyBucket struct {
+	LeNs  *uint64 `json:"le_ns"`
+	Count uint64  `json:"count"`
 }
 
 // metricsSnapshot is the JSON shape of GET /metrics. Request counters
 // always present; the online section appears when the plane is
 // attached.
 type metricsSnapshot struct {
-	PredictRequests      uint64 `json:"predict_requests"`
-	PredictBatchRequests uint64 `json:"predict_batch_requests"`
-	PredictRows          uint64 `json:"predict_rows"`
-	PredictErrors        uint64 `json:"predict_errors"`
-	PredictLatencyNs     uint64 `json:"predict_latency_ns_total"`
-	ObserveRequests      uint64 `json:"observe_requests"`
-	ObserveRows          uint64 `json:"observe_rows"`
-	ObserveErrors        uint64 `json:"observe_errors"`
-	ModelCacheHits       uint64 `json:"model_cache_hits"`
-	ModelCacheMisses     uint64 `json:"model_cache_misses"`
-	ModelCacheEvictions  uint64 `json:"model_cache_evictions"`
-	ModelSwaps           uint64 `json:"model_swaps"`
+	PredictRequests       uint64          `json:"predict_requests"`
+	PredictBatchRequests  uint64          `json:"predict_batch_requests"`
+	PredictRows           uint64          `json:"predict_rows"`
+	PredictErrors         uint64          `json:"predict_errors"`
+	PredictLatencyNs      uint64          `json:"predict_latency_ns_total"`
+	PredictLatencyBuckets []latencyBucket `json:"predict_latency_buckets"`
+	ObserveRequests       uint64          `json:"observe_requests"`
+	ObserveRows           uint64          `json:"observe_rows"`
+	ObserveErrors         uint64          `json:"observe_errors"`
+	ModelCacheHits        uint64          `json:"model_cache_hits"`
+	ModelCacheMisses      uint64          `json:"model_cache_misses"`
+	ModelCacheEvictions   uint64          `json:"model_cache_evictions"`
+	ModelSwaps            uint64          `json:"model_swaps"`
+
+	CoalescedRequests uint64 `json:"coalesced_requests"`
+	CoalesceFlushes   uint64 `json:"coalesce_flushes"`
+	CoalesceRows      uint64 `json:"coalesce_rows"`
+	CoalesceMaxFlush  uint64 `json:"coalesce_max_flush"`
+	Shed              uint64 `json:"shed"`
+	QueueDepth        int64  `json:"queue_depth"`
+	QueuePeakDepth    int64  `json:"queue_peak_depth"`
 
 	Online *online.Counters `json:"online,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := &s.Metrics
+	buckets := make([]latencyBucket, numLatencyBuckets)
+	var cum uint64
+	for i := range latencyBucketBoundsNs {
+		le := latencyBucketBoundsNs[i]
+		cum += m.PredictLatencyBuckets[i].Load()
+		buckets[i] = latencyBucket{LeNs: &le, Count: cum}
+	}
+	cum += m.PredictLatencyBuckets[numLatencyBuckets-1].Load()
+	buckets[numLatencyBuckets-1] = latencyBucket{Count: cum}
 	snap := metricsSnapshot{
-		PredictRequests:      m.PredictRequests.Load(),
-		PredictBatchRequests: m.PredictBatchRequests.Load(),
-		PredictRows:          m.PredictRows.Load(),
-		PredictErrors:        m.PredictErrors.Load(),
-		PredictLatencyNs:     m.PredictLatencyNs.Load(),
-		ObserveRequests:      m.ObserveRequests.Load(),
-		ObserveRows:          m.ObserveRows.Load(),
-		ObserveErrors:        m.ObserveErrors.Load(),
-		ModelCacheHits:       m.ModelCacheHits.Load(),
-		ModelCacheMisses:     m.ModelCacheMisses.Load(),
-		ModelCacheEvictions:  m.ModelCacheEvictions.Load(),
-		ModelSwaps:           m.ModelSwaps.Load(),
+		PredictRequests:       m.PredictRequests.Load(),
+		PredictBatchRequests:  m.PredictBatchRequests.Load(),
+		PredictRows:           m.PredictRows.Load(),
+		PredictErrors:         m.PredictErrors.Load(),
+		PredictLatencyNs:      m.PredictLatencyNs.Load(),
+		PredictLatencyBuckets: buckets,
+		ObserveRequests:       m.ObserveRequests.Load(),
+		ObserveRows:           m.ObserveRows.Load(),
+		ObserveErrors:         m.ObserveErrors.Load(),
+		ModelCacheHits:        m.ModelCacheHits.Load(),
+		ModelCacheMisses:      m.ModelCacheMisses.Load(),
+		ModelCacheEvictions:   m.ModelCacheEvictions.Load(),
+		ModelSwaps:            m.ModelSwaps.Load(),
+		CoalescedRequests:     m.CoalescedRequests.Load(),
+		CoalesceFlushes:       m.CoalesceFlushes.Load(),
+		CoalesceRows:          m.CoalesceRows.Load(),
+		CoalesceMaxFlush:      m.CoalesceMaxFlush.Load(),
+		Shed:                  m.Shed.Load(),
+		QueueDepth:            m.QueueDepth.Load(),
+		QueuePeakDepth:        m.QueuePeakDepth.Load(),
 	}
 	if s.online != nil {
 		c := s.online.Counters()

@@ -1,36 +1,3 @@
-// Package serve is the HTTP prediction service behind cmd/lam-serve:
-// a JSON API that loads trained models from a registry
-// (internal/registry) and answers single and batched prediction
-// requests bit-identical to the equivalent library calls — the handler
-// funnels every request through the same registry.Model batch path the
-// library exposes, so there is exactly one prediction code path.
-//
-// Endpoints:
-//
-//	GET  /healthz  — liveness: {"status":"ok","models":N}
-//	GET  /models   — every stored model version's metadata
-//	GET  /metrics  — request/cache/swap counters (+ online-plane
-//	                 counters when attached), flat JSON
-//	POST /predict  — {"model":"name","version":2,"x":[…]} or
-//	                 {"model":"name","batch":[[…],[…]]}
-//
-// With an online adaptation plane attached (AttachOnline; lam-serve
-// -online):
-//
-//	POST /observe              — ground-truth ingest: {"model":…,
-//	                             "x":[…],"y":0.12} or {"model":…,
-//	                             "batch":[[…]],"y_batch":[…]}
-//	GET  /models/{name}/drift  — the model's sliding-window accuracy,
-//	                             detector and retrain state
-//
-// The request context is threaded into the batch predictor, so a
-// dropped client connection cancels the in-flight prediction between
-// rows. "Latest" requests are served through a per-name atomic model
-// pointer: a newly published version — whether written by an external
-// process or republished by the online plane's retrainer — is swapped
-// in without any lock on the predict path, so in-flight requests
-// finish on the old compiled ensemble while new requests get the new
-// one. Version-pinned requests go through a small bounded cache.
 package serve
 
 import (
@@ -60,13 +27,29 @@ type Server struct {
 	// Metrics is the server's counter set (GET /metrics). Zero value
 	// ready; exported so tests and embedders can read it.
 	Metrics Metrics
+	// Coalesce enables micro-batch coalescing of single-row /predict
+	// requests when MaxBatch > 1 (see CoalesceConfig). Set before
+	// Handler; the zero value leaves coalescing off.
+	Coalesce CoalesceConfig
+	// Admit bounds /predict concurrency when MaxInflight > 0 (see
+	// AdmitConfig). Set before Handler; the zero value admits
+	// everything.
+	Admit AdmitConfig
 
 	// online is the adaptation plane, nil until AttachOnline.
 	online *online.Plane
+	// co and admit are built by Handler from Coalesce and Admit.
+	co    *coalescer
+	admit *admission
 
 	// latest holds one *atomic.Pointer[registry.Model] per name: the
 	// hot-swap slot "latest" requests read lock-free.
 	latest sync.Map
+	// loading holds one *sync.Mutex per name, taken only while a stale
+	// latest pointer is refreshed from disk: it single-flights the
+	// artifact deserialization so a burst of cold requests costs one
+	// decode, not one per request.
+	loading sync.Map
 
 	// mu guards the version-pinned cache only; the latest path never
 	// takes it.
@@ -93,8 +76,15 @@ func (s *Server) AttachOnline(p *online.Plane) {
 	}
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, materialising the
+// coalescing and admission planes from the Coalesce and Admit configs.
 func (s *Server) Handler() http.Handler {
+	if s.Coalesce.enabled() {
+		s.co = newCoalescer(s.Coalesce, &s.Metrics)
+	}
+	if s.Admit.enabled() {
+		s.admit = newAdmission(s.Admit, &s.Metrics)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /models", s.handleModels)
@@ -147,8 +137,21 @@ func (s *Server) latestPtr(name string) *atomic.Pointer[registry.Model] {
 // name's latest pointer — unless a concurrent loader or publish got a
 // newer version there first, in which case that one wins and is
 // returned. Monotonicity means a client can never observe the served
-// version move backwards.
+// version move backwards. Loading is single-flighted per name: a cold
+// or just-published model hit by a burst of requests is deserialized
+// exactly once, with the rest of the burst waiting on the loader
+// instead of each decoding its own copy.
 func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
+	muAny, _ := s.loading.LoadOrStore(name, &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
+	if cur := s.latestPtr(name).Load(); cur != nil && cur.Meta.Version >= version {
+		// The loader we waited on already brought this version (or a
+		// newer one) in.
+		s.Metrics.ModelCacheHits.Add(1)
+		return cur, nil
+	}
 	s.Metrics.ModelCacheMisses.Add(1)
 	m, err := s.reg.Load(name, version)
 	if err != nil {
@@ -357,10 +360,25 @@ type predictResponse struct {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.Metrics.PredictRequests.Add(1)
-	defer func() { s.Metrics.PredictLatencyNs.Add(uint64(time.Since(start))) }()
+	defer func() { s.Metrics.observePredictLatency(time.Since(start)) }()
 	fail := func(err error) {
 		s.Metrics.PredictErrors.Add(1)
 		writeError(w, err)
+	}
+	if s.admit != nil {
+		release, err := s.admit.admit(r.Context())
+		if err != nil {
+			if errors.Is(err, errOverloaded) {
+				// Shed, not failed: the client is told to back off for
+				// roughly one coalescing window plus queue turnover.
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+				return
+			}
+			fail(err)
+			return
+		}
+		defer release()
 	}
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
@@ -385,7 +403,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := predictResponse{Model: m.Meta.Name, Version: m.Meta.Version}
 	if single {
-		y, err := m.Predict(r.Context(), req.X)
+		var y float64
+		if s.co != nil {
+			s.Metrics.CoalescedRequests.Add(1)
+			y, err = s.co.predict(r.Context(), m, req.X)
+		} else {
+			y, err = m.Predict(r.Context(), req.X)
+		}
 		if err != nil {
 			fail(predictError(err))
 			return

@@ -1,0 +1,174 @@
+package artifact
+
+import (
+	"fmt"
+	"io"
+
+	"lam/internal/hybrid"
+	"lam/internal/lamerr"
+	"lam/internal/ml"
+)
+
+// Payload kinds: the two shapes of trained model the registry stores.
+// The string values match internal/registry's Meta.Kind.
+const (
+	KindHybrid    = "hybrid"
+	KindRegressor = "regressor"
+)
+
+// Codec names. FormatLAMB1 is the default for new saves; FormatJSONV1
+// is the legacy encoding that keeps loading forever.
+const (
+	FormatJSONV1 = "jsonv1"
+	FormatLAMB1  = "lamb1"
+)
+
+// DefaultFormat is the codec new artifacts are written with unless a
+// SaveOptions escape hatch says otherwise.
+const DefaultFormat = FormatLAMB1
+
+// Payload is one trained model on its way to or from disk: exactly one
+// of Hybrid or Regressor is set.
+type Payload struct {
+	Hybrid    *hybrid.Model
+	Regressor ml.Regressor
+}
+
+// Kind returns KindHybrid or KindRegressor.
+func (p *Payload) Kind() string {
+	if p.Hybrid != nil {
+		return KindHybrid
+	}
+	return KindRegressor
+}
+
+// Stats summarises the payload's structure (estimator kind, member
+// tree count, flat-table node count) for lam-model info.
+func (p *Payload) Stats() ml.ModelStats {
+	if p.Hybrid != nil {
+		s := ml.StatsOf(p.Hybrid.ML())
+		s.Kind = "hybrid(" + s.Kind + ")"
+		return s
+	}
+	return ml.StatsOf(p.Regressor)
+}
+
+func (p *Payload) validate() error {
+	if p == nil || (p.Hybrid == nil) == (p.Regressor == nil) {
+		return fmt.Errorf("artifact: payload must carry exactly one of a hybrid model or a regressor")
+	}
+	return nil
+}
+
+// DecodeOptions parameterise Decode.
+type DecodeOptions struct {
+	// Kind is the expected payload kind (KindHybrid / KindRegressor),
+	// normally taken from registry metadata. Empty means "whatever the
+	// artifact says" — jsonv1 then sniffs the document shape.
+	Kind string
+	// Analytical is the analytical model to reattach to hybrid
+	// payloads (rebuilt from the (workload, machine) metadata by the
+	// registry). Required when the payload is hybrid.
+	Analytical hybrid.AnalyticalModel
+}
+
+// Codec encodes and decodes model payloads in one on-disk format.
+type Codec interface {
+	// Name returns the format name recorded in registry metadata.
+	Name() string
+	// Encode writes p to w.
+	Encode(w io.Writer, p *Payload) error
+	// Decode restores a payload from a complete artifact. Corrupt
+	// input fails with an error wrapping lamerr.ErrCorruptArtifact and
+	// never panics.
+	Decode(data []byte, opts DecodeOptions) (*Payload, error)
+	// Sniff reports whether prefix (the artifact's leading bytes, at
+	// least 8 when the file has them) looks like this format.
+	Sniff(prefix []byte) bool
+}
+
+// codecs is the codec registry, in detection-priority order: lamb1's
+// 8-byte magic cannot occur at the start of a JSON document, so the
+// binary codec sniffs first.
+var codecs = []Codec{lamb1Codec{}, jsonv1Codec{}}
+
+// Formats lists the registered codec names in detection order.
+func Formats() []string {
+	out := make([]string, len(codecs))
+	for i, c := range codecs {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// ByName resolves a codec by format name ("" means the default).
+func ByName(name string) (Codec, error) {
+	if name == "" {
+		name = DefaultFormat
+	}
+	for _, c := range codecs {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("artifact: unknown format %q (have %v)", name, Formats())
+}
+
+// Detect picks the codec for an artifact from its leading bytes. An
+// artifact matching no registered codec is corrupt.
+func Detect(data []byte) (Codec, error) {
+	for _, c := range codecs {
+		if c.Sniff(data) {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("artifact: %w: unrecognised artifact (no codec magic matched %d-byte prefix)",
+		lamerr.ErrCorruptArtifact, min(len(data), 8))
+}
+
+// Info describes one artifact for inspection (lam-model info).
+type Info struct {
+	// Format is the codec name the artifact is encoded with.
+	Format string `json:"format"`
+	// Kind is KindHybrid or KindRegressor.
+	Kind string `json:"kind"`
+	// Estimator is the decoded model's structural kind, e.g.
+	// "pipeline(forest)" or "hybrid(pipeline(forest))".
+	Estimator string `json:"estimator"`
+	// Trees and Nodes count the flat node tables (zero for non-tree
+	// estimators).
+	Trees int `json:"trees"`
+	Nodes int `json:"nodes"`
+	// SizeBytes is the artifact's total encoded size.
+	SizeBytes int `json:"size_bytes"`
+	// CRC32 is the lamb1 trailer checksum (Castagnoli), zero for
+	// formats without one.
+	CRC32 uint32 `json:"crc32,omitempty"`
+}
+
+// Inspect detects an artifact's codec, decodes it, and summarises it.
+// The decoded payload is returned alongside so callers (lam-model
+// convert) don't pay a second decode.
+func Inspect(data []byte, opts DecodeOptions) (Info, *Payload, error) {
+	c, err := Detect(data)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	p, err := c.Decode(data, opts)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	stats := p.Stats()
+	info := Info{
+		Format:    c.Name(),
+		Kind:      p.Kind(),
+		Estimator: stats.Kind,
+		Trees:     stats.Trees,
+		Nodes:     stats.Nodes,
+		SizeBytes: len(data),
+	}
+	if c.Name() == FormatLAMB1 {
+		info.CRC32 = lamb1TrailerCRC(data)
+	}
+	return info, p, nil
+}

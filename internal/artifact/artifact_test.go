@@ -1,0 +1,448 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lam/internal/dataset"
+	"lam/internal/hybrid"
+	"lam/internal/lamerr"
+	"lam/internal/ml"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden artifacts under testdata/")
+
+// synth builds a deterministic synthetic regression set: a smooth
+// nonlinear response over d features, the shape every estimator in the
+// suite can fit something sensible to.
+func synth(rng *rand.Rand, n, d int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()*4 - 2
+		}
+		X[i] = row
+		y[i] = 1 + row[0]*row[0] + 0.5*math.Sin(3*row[1%d]) + 0.25*row[d-1] + 0.01*rng.NormFloat64()
+	}
+	return X, y
+}
+
+// testAM is the fixed deterministic analytical model used for hybrid
+// fixtures; goldens depend on it never changing.
+var testAM = hybrid.AnalyticalFunc(func(x []float64) (float64, error) {
+	return 1 + 0.5*x[0]*x[0] + 0.25*x[len(x)-1], nil
+})
+
+func treeFactory(cfg ml.TreeConfig) func() ml.Regressor {
+	return func() ml.Regressor { return ml.NewDecisionTree(cfg) }
+}
+
+// fixtures are the deterministic estimator configurations pinned by the
+// goldens: one per artifact-visible kind.
+var fixtures = []struct {
+	name  string
+	build func() ml.Regressor
+}{
+	{"tree", func() ml.Regressor { return ml.NewDecisionTree(ml.TreeConfig{MaxDepth: 6, Seed: 1}) }},
+	{"forest", func() ml.Regressor { return ml.NewExtraTrees(12, 1) }},
+	{"linreg", func() ml.Regressor { return &ml.LinearRegression{} }},
+	{"knn", func() ml.Regressor { return &ml.KNN{K: 3, Weighting: ml.DistanceWeights} }},
+	{"gbr", func() ml.Regressor {
+		return &ml.GradientBoosting{NStages: 25, MaxDepth: 3, LearningRate: 0.1, Subsample: 0.8, Seed: 1}
+	}},
+	{"bagging", func() ml.Regressor {
+		return &ml.Bagging{NewBase: treeFactory(ml.TreeConfig{MaxDepth: 5, Seed: 2}), N: 8, SampleFrac: 0.9, Seed: 1}
+	}},
+	{"stacking", func() ml.Regressor {
+		return &ml.Stacking{
+			NewBases:    []func() ml.Regressor{treeFactory(ml.TreeConfig{MaxDepth: 4, Seed: 3}), func() ml.Regressor { return &ml.LinearRegression{} }},
+			NewMeta:     func() ml.Regressor { return &ml.LinearRegression{} },
+			PassThrough: true,
+			KFold:       3,
+			Seed:        1,
+		}
+	}},
+	{"pipeline", func() ml.Regressor { return &ml.Pipeline{Model: ml.NewExtraTrees(8, 1)} }},
+}
+
+func fitFixture(t testing.TB, build func() ml.Regressor) (ml.Regressor, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	X, y := synth(rng, 80, 3)
+	reg := build()
+	if err := reg.Fit(X, y); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	probe, _ := synth(rand.New(rand.NewSource(8)), 24, 3)
+	return reg, probe
+}
+
+func fitHybrid(t testing.TB, cfg hybrid.Config) (*hybrid.Model, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	X, y := synth(rng, 80, 3)
+	ds := dataset.New("a", "b", "c")
+	for i := range X {
+		ds.MustAdd(X[i], y[i])
+	}
+	m, err := hybrid.Train(ds, testAM, cfg)
+	if err != nil {
+		t.Fatalf("hybrid train: %v", err)
+	}
+	probe, _ := synth(rand.New(rand.NewSource(8)), 24, 3)
+	return m, probe
+}
+
+func predict(t testing.TB, p *Payload, X [][]float64) []float64 {
+	t.Helper()
+	out := make([]float64, len(X))
+	for i, x := range X {
+		var err error
+		if p.Hybrid != nil {
+			out[i], err = p.Hybrid.Predict(x)
+		} else {
+			out[i], err = ml.PredictCtx(t.Context(), p.Regressor, x)
+		}
+		if err != nil {
+			t.Fatalf("predict row %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func encode(t testing.TB, c Codec, p *Payload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, p); err != nil {
+		t.Fatalf("%s encode: %v", c.Name(), err)
+	}
+	return buf.Bytes()
+}
+
+func requireBitIdentical(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d predictions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: row %d: %v != %v (bits %016x vs %016x)",
+				label, i, got[i], want[i], math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// roundTrip encodes p with every codec, decodes each artifact back, and
+// requires bit-identical predictions from every copy.
+func roundTrip(t *testing.T, p *Payload, probe [][]float64) {
+	t.Helper()
+	want := predict(t, p, probe)
+	opts := DecodeOptions{}
+	if p.Hybrid != nil {
+		opts.Analytical = testAM
+	}
+	for _, c := range codecs {
+		data := encode(t, c, p)
+		if again := encode(t, c, p); !bytes.Equal(data, again) {
+			t.Fatalf("%s: encoding is not deterministic", c.Name())
+		}
+		detected, err := Detect(data)
+		if err != nil {
+			t.Fatalf("%s: Detect: %v", c.Name(), err)
+		}
+		if detected.Name() != c.Name() {
+			t.Fatalf("Detect picked %s for a %s artifact", detected.Name(), c.Name())
+		}
+		decoded, err := c.Decode(data, opts)
+		if err != nil {
+			t.Fatalf("%s decode: %v", c.Name(), err)
+		}
+		requireBitIdentical(t, c.Name(), want, predict(t, decoded, probe))
+
+		// Cross-convert: re-encode the decoded payload with the other
+		// codec and check the predictions survive the full cycle.
+		for _, other := range codecs {
+			if other.Name() == c.Name() {
+				continue
+			}
+			converted, err := other.Decode(encode(t, other, decoded), opts)
+			if err != nil {
+				t.Fatalf("%s->%s decode: %v", c.Name(), other.Name(), err)
+			}
+			requireBitIdentical(t, c.Name()+"->"+other.Name(), want, predict(t, converted, probe))
+		}
+	}
+}
+
+// TestRoundTripFixtures covers every estimator kind with its pinned
+// configuration.
+func TestRoundTripFixtures(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			reg, probe := fitFixture(t, fx.build)
+			roundTrip(t, &Payload{Regressor: reg}, probe)
+		})
+	}
+}
+
+// TestRoundTripHybrid covers the hybrid payload in each coupling mode,
+// with and without aggregation.
+func TestRoundTripHybrid(t *testing.T) {
+	for _, cfg := range []hybrid.Config{
+		{Seed: 1},
+		{Seed: 1, Mode: hybrid.ResidualMode},
+		{Seed: 1, Mode: hybrid.RatioMode, Aggregate: true, AggregateWeight: 0.7},
+	} {
+		t.Run(fmt.Sprintf("mode%d-agg%v", cfg.Mode, cfg.Aggregate), func(t *testing.T) {
+			m, probe := fitHybrid(t, cfg)
+			roundTrip(t, &Payload{Hybrid: m}, probe)
+		})
+	}
+}
+
+// TestRoundTripRandomConfigs is the property test: random estimator
+// kinds with random hyperparameters, all of which must survive both
+// codecs bit-identically.
+func TestRoundTripRandomConfigs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			build := randomBuild(rng)
+			reg, probe := fitFixture(t, build)
+			roundTrip(t, &Payload{Regressor: reg}, probe)
+		})
+	}
+}
+
+// randomBuild draws one random estimator configuration.
+func randomBuild(rng *rand.Rand) func() ml.Regressor {
+	randTree := func() ml.TreeConfig {
+		return ml.TreeConfig{
+			MaxDepth:        rng.Intn(8),
+			MinSamplesSplit: rng.Intn(5),
+			MinSamplesLeaf:  rng.Intn(3),
+			MaxFeatures:     rng.Intn(4),
+			Splitter:        ml.Splitter(rng.Intn(2)),
+			Seed:            rng.Int63(),
+		}
+	}
+	seed := rng.Int63()
+	nTrees := 2 + rng.Intn(10)
+	switch rng.Intn(8) {
+	case 0:
+		cfg := randTree()
+		return func() ml.Regressor { return ml.NewDecisionTree(cfg) }
+	case 1:
+		if rng.Intn(2) == 0 {
+			return func() ml.Regressor { return ml.NewRandomForest(nTrees, seed) }
+		}
+		return func() ml.Regressor { return ml.NewExtraTrees(nTrees, seed) }
+	case 2:
+		return func() ml.Regressor { return &ml.LinearRegression{} }
+	case 3:
+		k := 1 + rng.Intn(6)
+		w := ml.KNNWeighting(rng.Intn(2))
+		return func() ml.Regressor { return &ml.KNN{K: k, Weighting: w} }
+	case 4:
+		g := ml.GradientBoosting{
+			NStages:      1 + rng.Intn(30),
+			LearningRate: 0.05 + rng.Float64()*0.4,
+			MaxDepth:     1 + rng.Intn(4),
+			Subsample:    0.5 + rng.Float64()*0.5,
+			Seed:         seed,
+		}
+		return func() ml.Regressor { g2 := g; return &g2 }
+	case 5:
+		cfg := randTree()
+		frac := 0.5 + rng.Float64()*0.5
+		n := 2 + rng.Intn(6)
+		return func() ml.Regressor {
+			return &ml.Bagging{NewBase: treeFactory(cfg), N: n, SampleFrac: frac, Seed: seed}
+		}
+	case 6:
+		cfg := randTree()
+		kfold := rng.Intn(4)
+		pass := rng.Intn(2) == 0
+		return func() ml.Regressor {
+			return &ml.Stacking{
+				NewBases:    []func() ml.Regressor{treeFactory(cfg), func() ml.Regressor { return &ml.LinearRegression{} }},
+				NewMeta:     func() ml.Regressor { return &ml.LinearRegression{} },
+				PassThrough: pass,
+				KFold:       kfold,
+				Seed:        seed,
+			}
+		}
+	default:
+		inner := ml.NewExtraTrees(nTrees, seed)
+		return func() ml.Regressor { return &ml.Pipeline{Model: inner} }
+	}
+}
+
+// TestLamb1CorruptionFailsTyped mangles a lamb1 artifact every way a
+// disk or transport can — truncation at every stride, a bit flip at
+// every stride — and requires a typed ErrCorruptArtifact, never a panic
+// and never a silent success.
+func TestLamb1CorruptionFailsTyped(t *testing.T) {
+	reg, _ := fitFixture(t, fixtures[1].build) // forest: multi-tree payload
+	data := encode(t, lamb1Codec{}, &Payload{Regressor: reg})
+
+	requireCorrupt := func(label string, mangled []byte) {
+		t.Helper()
+		p, err := lamb1Codec{}.Decode(mangled, DecodeOptions{})
+		if err == nil {
+			t.Fatalf("%s: decode succeeded on mangled artifact (payload %v)", label, p.Kind())
+		}
+		if !errors.Is(err, lamerr.ErrCorruptArtifact) {
+			t.Fatalf("%s: error %v does not wrap ErrCorruptArtifact", label, err)
+		}
+	}
+
+	for l := 0; l < len(data); l += 13 {
+		requireCorrupt(fmt.Sprintf("truncate[:%d]", l), data[:l:l])
+	}
+	for i := 0; i < len(data); i += 11 {
+		mangled := bytes.Clone(data)
+		mangled[i] ^= 1 << (i % 8)
+		requireCorrupt(fmt.Sprintf("bitflip@%d", i), mangled)
+	}
+	// The classic transport mangling the magic exists to catch: CRLF
+	// translation rewriting the \r\n.
+	mangled := bytes.Clone(data)
+	mangled[5] = '\n'
+	requireCorrupt("crlf", mangled)
+	// Kind mismatch against metadata.
+	if _, err := (lamb1Codec{}).Decode(data, DecodeOptions{Kind: KindHybrid, Analytical: testAM}); !errors.Is(err, lamerr.ErrCorruptArtifact) {
+		t.Fatalf("kind mismatch: got %v, want ErrCorruptArtifact", err)
+	}
+}
+
+// TestJSONV1CorruptionFailsTyped checks the legacy codec fails typed on
+// damaged documents too.
+func TestJSONV1CorruptionFailsTyped(t *testing.T) {
+	reg, _ := fitFixture(t, fixtures[0].build)
+	data := encode(t, jsonv1Codec{}, &Payload{Regressor: reg})
+	for _, mangled := range [][]byte{
+		data[:len(data)/2],
+		[]byte("{}"),
+		[]byte(`{"kind":"no-such-estimator","model":{}}`),
+	} {
+		if _, err := (jsonv1Codec{}).Decode(mangled, DecodeOptions{}); !errors.Is(err, lamerr.ErrCorruptArtifact) {
+			t.Fatalf("jsonv1 decode of %.40q: got %v, want ErrCorruptArtifact", mangled, err)
+		}
+	}
+	if _, err := Detect([]byte("\x00\x01\x02garbage")); !errors.Is(err, lamerr.ErrCorruptArtifact) {
+		t.Fatalf("Detect on garbage: got %v, want ErrCorruptArtifact", err)
+	}
+}
+
+// goldenPredictions is the sidecar document pinning each golden's
+// expected behaviour: the probe inputs and the exact predictions.
+type goldenPredictions struct {
+	X    [][]float64 `json:"x"`
+	Pred []float64   `json:"pred"`
+}
+
+// TestGoldenArtifacts decodes the committed jsonv1 artifacts — one per
+// estimator kind — and requires bit-identical predictions to the
+// committed values, directly and after converting to lamb1 and back.
+// This is the cross-build forward-compat contract: a change that breaks
+// these goldens breaks every registry in the field. Regenerate with
+// -update only when intentionally revving the format.
+func TestGoldenArtifacts(t *testing.T) {
+	type golden struct {
+		name string
+		make func(t *testing.T) (*Payload, [][]float64)
+		hyb  bool
+	}
+	var cases []golden
+	for _, fx := range fixtures {
+		build := fx.build
+		cases = append(cases, golden{name: fx.name, make: func(t *testing.T) (*Payload, [][]float64) {
+			reg, probe := fitFixture(t, build)
+			return &Payload{Regressor: reg}, probe
+		}})
+	}
+	cases = append(cases, golden{name: "hybrid", hyb: true, make: func(t *testing.T) (*Payload, [][]float64) {
+		m, probe := fitHybrid(t, hybrid.Config{Seed: 1})
+		return &Payload{Hybrid: m}, probe
+	}})
+
+	for _, g := range cases {
+		t.Run(g.name, func(t *testing.T) {
+			artPath := filepath.Join("testdata", "golden_"+g.name+".json")
+			predPath := filepath.Join("testdata", "golden_"+g.name+".pred.json")
+			opts := DecodeOptions{}
+			if g.hyb {
+				opts.Analytical = testAM
+			}
+
+			if *update {
+				p, probe := g.make(t)
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(artPath, encode(t, jsonv1Codec{}, p), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				raw, err := json.MarshalIndent(goldenPredictions{X: probe, Pred: predict(t, p, probe)}, "", " ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(predPath, append(raw, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			data, err := os.ReadFile(artPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to generate): %v", err)
+			}
+			rawPred, err := os.ReadFile(predPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want goldenPredictions
+			if err := json.Unmarshal(rawPred, &want); err != nil {
+				t.Fatal(err)
+			}
+
+			info, p, err := Inspect(data, opts)
+			if err != nil {
+				t.Fatalf("decoding golden: %v", err)
+			}
+			if info.Format != FormatJSONV1 {
+				t.Fatalf("golden detected as %s, want jsonv1", info.Format)
+			}
+			requireBitIdentical(t, "golden jsonv1", want.Pred, predict(t, p, want.X))
+
+			// Convert golden → lamb1 → decode: the upgrade path every
+			// legacy registry takes.
+			bin := encode(t, lamb1Codec{}, p)
+			binInfo, fromBin, err := Inspect(bin, opts)
+			if err != nil {
+				t.Fatalf("decoding converted golden: %v", err)
+			}
+			if binInfo.Format != FormatLAMB1 {
+				t.Fatalf("converted golden detected as %s, want lamb1", binInfo.Format)
+			}
+			requireBitIdentical(t, "golden lamb1", want.Pred, predict(t, fromBin, want.X))
+
+			// And back: lamb1 → jsonv1, the downgrade escape hatch.
+			back, err := jsonv1Codec{}.Decode(encode(t, jsonv1Codec{}, fromBin), opts)
+			if err != nil {
+				t.Fatalf("round-trip back to jsonv1: %v", err)
+			}
+			requireBitIdentical(t, "golden jsonv1 round trip", want.Pred, predict(t, back, want.X))
+		})
+	}
+}

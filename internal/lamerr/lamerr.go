@@ -49,4 +49,12 @@ var (
 	// ErrBadRequest reports a malformed request to the serving layer
 	// (unparseable JSON, no feature vector, …).
 	ErrBadRequest = errors.New("bad request")
+
+	// ErrCorruptArtifact reports a model artifact that failed integrity
+	// or structural validation on load — bad magic, short read,
+	// checksum mismatch, out-of-range node indices. Corrupt artifacts
+	// always fail with this sentinel (wrapped, with the offending
+	// detail in the message) and never panic, so the serving layer can
+	// refuse a bad version while continuing to serve the old one.
+	ErrCorruptArtifact = errors.New("corrupt model artifact")
 )

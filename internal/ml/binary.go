@@ -1,0 +1,708 @@
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"lam/internal/lamerr"
+)
+
+// Binary model encoding: the payload layer of the lamb1 artifact format
+// (see internal/artifact). Where the JSON encoding spells every node
+// out as a document, this encoding writes the compiled plane's SoA node
+// tables — feature/left/right/nSamples ([]int32) and threshold/value
+// ([]float64) — verbatim in their runtime layout, little-endian, so
+// decoding a tree ensemble is a handful of bounds checks plus
+// slice-casting the arrays straight out of the file buffer. No per-node
+// structure is ever allocated or parsed on load; on a little-endian
+// machine the decoded tables alias the input buffer outright
+// (zero-copy), and on big-endian or misaligned inputs a bulk
+// element-wise conversion keeps the format portable.
+//
+// Layout discipline, relied on for the casts:
+//
+//   - Every scalar is a fixed 8-byte little-endian word (u64/i64/f64),
+//     so sections never perturb alignment.
+//   - []int32 arrays are written in groups of four (4·4n bytes), so a
+//     group is always a multiple of 8 bytes and any following []float64
+//     stays 8-byte aligned.
+//   - Consequently every section is a multiple of 8 bytes long and, as
+//     long as the caller hands Decode an 8-byte-aligned buffer (the
+//     artifact layer guarantees it), every array lands on its natural
+//     alignment.
+//
+// Integrity: the artifact layer CRC-checks the whole file before the
+// payload is decoded, so these decoders mainly defend structure —
+// counts are bounded by the remaining input before any allocation, and
+// node tables go through the same validate() pass as the JSON path.
+// Every failure wraps lamerr.ErrCorruptArtifact; nothing panics.
+
+// Binary model-kind tags. Values are part of the on-disk format; never
+// renumber, only append.
+const (
+	binKindTree     uint64 = 1
+	binKindForest   uint64 = 2
+	binKindLinreg   uint64 = 3
+	binKindKNN      uint64 = 4
+	binKindGBR      uint64 = 5
+	binKindPipeline uint64 = 6
+	binKindBagging  uint64 = 7
+	binKindStacking uint64 = 8
+)
+
+// nativeLittleEndian reports whether the host stores multi-byte words
+// little-endian — the fast path where array bytes can be reinterpreted
+// in place instead of converted element by element.
+var nativeLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("ml: %w: "+format, append([]any{lamerr.ErrCorruptArtifact}, args...)...)
+}
+
+// --- encoding -------------------------------------------------------
+
+func appendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+func appendI64(buf []byte, v int64) []byte  { return appendU64(buf, uint64(v)) }
+func appendF64(buf []byte, v float64) []byte {
+	return appendU64(buf, math.Float64bits(v))
+}
+
+func appendF64s(buf []byte, v []float64) []byte {
+	if len(v) == 0 {
+		return buf
+	}
+	if nativeLittleEndian {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)...)
+	}
+	for _, x := range v {
+		buf = appendF64(buf, x)
+	}
+	return buf
+}
+
+func appendI32s(buf []byte, v []int32) []byte {
+	if len(v) == 0 {
+		return buf
+	}
+	if nativeLittleEndian {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)...)
+	}
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+func boolI64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendTreeConfig(buf []byte, cfg TreeConfig) []byte {
+	buf = appendI64(buf, int64(cfg.MaxDepth))
+	buf = appendI64(buf, int64(cfg.MinSamplesSplit))
+	buf = appendI64(buf, int64(cfg.MinSamplesLeaf))
+	buf = appendI64(buf, int64(cfg.MaxFeatures))
+	buf = appendI64(buf, int64(cfg.Splitter))
+	return appendI64(buf, cfg.Seed)
+}
+
+// appendTreeBody writes one fitted tree (config, importances and the
+// compiled node table) without a kind tag — forests and boosters embed
+// member trees directly since their members are trees by construction.
+func appendTreeBody(buf []byte, t *DecisionTree) []byte {
+	c := &t.nodes
+	buf = appendU64(buf, uint64(c.Len()))
+	buf = appendU64(buf, uint64(t.nFeatures))
+	buf = appendU64(buf, uint64(len(t.importances)))
+	buf = appendTreeConfig(buf, t.Config)
+	buf = appendF64s(buf, t.importances)
+	buf = appendI32s(buf, c.feature)
+	buf = appendI32s(buf, c.left)
+	buf = appendI32s(buf, c.right)
+	buf = appendI32s(buf, c.nSamples)
+	buf = appendF64s(buf, c.threshold)
+	return appendF64s(buf, c.value)
+}
+
+// AppendBinary appends the binary encoding of a fitted regressor to buf
+// and returns the extended slice. Supported types and fitted-state
+// requirements match SaveModel exactly; the two encodings are
+// interconvertible without loss.
+func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
+	switch v := m.(type) {
+	case *DecisionTree:
+		if !v.IsFitted() {
+			return nil, fmt.Errorf("ml: cannot save unfitted DecisionTree")
+		}
+		return appendTreeBody(appendU64(buf, binKindTree), v), nil
+	case *Forest:
+		if len(v.trees) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted Forest")
+		}
+		buf = appendU64(buf, binKindForest)
+		buf = appendI64(buf, int64(v.NTrees))
+		buf = appendI64(buf, boolI64(v.Bootstrap))
+		buf = appendI64(buf, v.Seed)
+		buf = appendU64(buf, uint64(v.nFeatures))
+		buf = appendTreeConfig(buf, v.Tree)
+		buf = appendU64(buf, uint64(len(v.trees)))
+		for _, t := range v.trees {
+			buf = appendTreeBody(buf, t)
+		}
+		return buf, nil
+	case *LinearRegression:
+		if !v.fitted {
+			return nil, fmt.Errorf("ml: cannot save unfitted LinearRegression")
+		}
+		buf = appendU64(buf, binKindLinreg)
+		buf = appendF64(buf, v.Lambda)
+		buf = appendF64(buf, v.intercept)
+		buf = appendU64(buf, uint64(len(v.weights)))
+		return appendF64s(buf, v.weights), nil
+	case *KNN:
+		if len(v.x) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted KNN")
+		}
+		buf = appendU64(buf, binKindKNN)
+		buf = appendI64(buf, int64(v.K))
+		buf = appendI64(buf, int64(v.Weighting))
+		buf = appendU64(buf, uint64(len(v.x)))
+		buf = appendU64(buf, uint64(len(v.x[0])))
+		buf = appendF64s(buf, v.y)
+		for _, row := range v.x {
+			buf = appendF64s(buf, row)
+		}
+		return buf, nil
+	case *GradientBoosting:
+		if len(v.stages) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted GradientBoosting")
+		}
+		buf = appendU64(buf, binKindGBR)
+		buf = appendF64(buf, v.init)
+		buf = appendF64(buf, v.rate)
+		buf = appendU64(buf, uint64(len(v.stages)))
+		for _, t := range v.stages {
+			buf = appendTreeBody(buf, t)
+		}
+		return buf, nil
+	case *Pipeline:
+		if !v.fitted {
+			return nil, fmt.Errorf("ml: cannot save unfitted Pipeline")
+		}
+		buf = appendU64(buf, binKindPipeline)
+		buf = appendU64(buf, uint64(len(v.scaler.mean)))
+		buf = appendF64s(buf, v.scaler.mean)
+		buf = appendF64s(buf, v.scaler.std)
+		return AppendBinary(buf, v.Model)
+	case *Bagging:
+		if len(v.models) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted Bagging")
+		}
+		buf = appendU64(buf, binKindBagging)
+		buf = appendI64(buf, int64(v.N))
+		buf = appendF64(buf, v.SampleFrac)
+		buf = appendI64(buf, v.Seed)
+		buf = appendU64(buf, uint64(len(v.models)))
+		var err error
+		for _, m := range v.models {
+			if buf, err = AppendBinary(buf, m); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case *Stacking:
+		if v.meta == nil {
+			return nil, fmt.Errorf("ml: cannot save unfitted Stacking")
+		}
+		buf = appendU64(buf, binKindStacking)
+		buf = appendI64(buf, boolI64(v.PassThrough))
+		buf = appendI64(buf, int64(v.KFold))
+		buf = appendI64(buf, v.Seed)
+		buf = appendU64(buf, uint64(len(v.bases)))
+		var err error
+		for _, b := range v.bases {
+			if buf, err = AppendBinary(buf, b); err != nil {
+				return nil, err
+			}
+		}
+		return AppendBinary(buf, v.meta)
+	default:
+		return nil, fmt.Errorf("ml: binary encoding does not support %T", m)
+	}
+}
+
+// --- decoding -------------------------------------------------------
+
+// binReader walks a binary payload with bounds-checked, typed reads.
+// Array reads slice-cast in place when the host is little-endian and
+// the underlying bytes are naturally aligned (always, given an aligned
+// buffer — see the layout discipline above); otherwise they fall back
+// to a bulk element-wise conversion.
+type binReader struct {
+	data []byte
+	off  int
+}
+
+func (r *binReader) remaining() int { return len(r.data) - r.off }
+
+func (r *binReader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, corruptf("short payload: need %d bytes at offset %d, have %d", n, r.off, r.remaining())
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *binReader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *binReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// count reads an element count and bounds it by the bytes actually left
+// in the payload, so a corrupt length can neither over-allocate nor
+// overflow downstream size arithmetic.
+func (r *binReader) count(elemSize int) (int, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()/elemSize) {
+		return 0, corruptf("element count %d exceeds remaining payload (%d bytes)", v, r.remaining())
+	}
+	return int(v), nil
+}
+
+func (r *binReader) f64s(n int) ([]float64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	b, err := r.bytes(n * 8)
+	if err != nil {
+		return nil, err
+	}
+	if nativeLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+func (r *binReader) i32s(n int) ([]int32, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	b, err := r.bytes(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	if nativeLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+func (r *binReader) treeConfig() (TreeConfig, error) {
+	var cfg TreeConfig
+	vals := make([]int64, 6)
+	for i := range vals {
+		v, err := r.i64()
+		if err != nil {
+			return cfg, err
+		}
+		vals[i] = v
+	}
+	cfg.MaxDepth = int(vals[0])
+	cfg.MinSamplesSplit = int(vals[1])
+	cfg.MinSamplesLeaf = int(vals[2])
+	cfg.MaxFeatures = int(vals[3])
+	cfg.Splitter = Splitter(vals[4])
+	cfg.Seed = vals[5]
+	return cfg, nil
+}
+
+func (r *binReader) treeBody() (*DecisionTree, error) {
+	nNodes, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	nFeat, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	nImp, err := r.count(8)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := r.treeConfig()
+	if err != nil {
+		return nil, err
+	}
+	imp, err := r.f64s(nImp)
+	if err != nil {
+		return nil, err
+	}
+	var c CompiledTree
+	if c.feature, err = r.i32s(nNodes); err != nil {
+		return nil, err
+	}
+	if c.left, err = r.i32s(nNodes); err != nil {
+		return nil, err
+	}
+	if c.right, err = r.i32s(nNodes); err != nil {
+		return nil, err
+	}
+	if c.nSamples, err = r.i32s(nNodes); err != nil {
+		return nil, err
+	}
+	if c.threshold, err = r.f64s(nNodes); err != nil {
+		return nil, err
+	}
+	if c.value, err = r.f64s(nNodes); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, corruptf("%v", err)
+	}
+	return &DecisionTree{Config: cfg, nodes: c, nFeatures: int(nFeat), importances: imp}, nil
+}
+
+// DecodeBinary restores a regressor encoded by AppendBinary, consuming
+// the whole input. Trailing bytes are treated as corruption — the
+// artifact layer frames payloads with an exact length.
+func DecodeBinary(data []byte) (Regressor, error) {
+	r := &binReader{data: data}
+	m, err := decodeModelBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes after model payload", r.remaining())
+	}
+	return m, nil
+}
+
+// DecodeBinaryPrefix restores a regressor from the front of data and
+// reports how many bytes it consumed — the hook nested encodings (the
+// hybrid model's ML component) decode through.
+func DecodeBinaryPrefix(data []byte) (Regressor, int, error) {
+	r := &binReader{data: data}
+	m, err := decodeModelBinary(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, r.off, nil
+}
+
+func decodeModelBinary(r *binReader) (Regressor, error) {
+	kind, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case binKindTree:
+		return r.treeBody()
+	case binKindForest:
+		nTreesCfg, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		bootstrap, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		seed, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		nFeat, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := r.treeConfig()
+		if err != nil {
+			return nil, err
+		}
+		// A member tree body is at least its 9-word header.
+		n, err := r.count(72)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, corruptf("forest with no trees")
+		}
+		f := &Forest{NTrees: int(nTreesCfg), Tree: cfg, Bootstrap: bootstrap != 0,
+			Seed: seed, nFeatures: int(nFeat)}
+		for i := 0; i < n; i++ {
+			t, err := r.treeBody()
+			if err != nil {
+				return nil, fmt.Errorf("forest tree %d: %w", i, err)
+			}
+			f.trees = append(f.trees, t)
+		}
+		f.compiled = compileMeanEnsemble(f.trees)
+		return f, nil
+	case binKindLinreg:
+		lambda, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		intercept, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		nW, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		if nW == 0 {
+			return nil, corruptf("linreg with no weights")
+		}
+		w, err := r.f64s(nW)
+		if err != nil {
+			return nil, err
+		}
+		return &LinearRegression{Lambda: lambda, weights: w, intercept: intercept, fitted: true}, nil
+	case binKindKNN:
+		k, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		weighting, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || p == 0 {
+			return nil, corruptf("knn with %d samples × %d features", n, p)
+		}
+		y, err := r.f64s(n)
+		if err != nil {
+			return nil, err
+		}
+		if n > r.remaining()/(8*p) {
+			return nil, corruptf("knn design matrix %d×%d exceeds remaining payload", n, p)
+		}
+		flat, err := r.f64s(n * p)
+		if err != nil {
+			return nil, err
+		}
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = flat[i*p : (i+1)*p]
+		}
+		return &KNN{K: int(k), Weighting: KNNWeighting(weighting), x: X, y: y}, nil
+	case binKindGBR:
+		init, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		rate, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.count(72)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, corruptf("gbr with no stages")
+		}
+		g := &GradientBoosting{init: init, rate: rate}
+		for i := 0; i < n; i++ {
+			t, err := r.treeBody()
+			if err != nil {
+				return nil, fmt.Errorf("boosting stage %d: %w", i, err)
+			}
+			g.stages = append(g.stages, t)
+		}
+		g.compiled = compileBoostedEnsemble(g.stages, init, rate)
+		return g, nil
+	case binKindPipeline:
+		p, err := r.count(16)
+		if err != nil {
+			return nil, err
+		}
+		if p == 0 {
+			return nil, corruptf("pipeline with no scaler state")
+		}
+		mean, err := r.f64s(p)
+		if err != nil {
+			return nil, err
+		}
+		std, err := r.f64s(p)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := decodeModelBinary(r)
+		if err != nil {
+			return nil, err
+		}
+		pl := &Pipeline{Model: inner, fitted: true}
+		pl.scaler.mean = mean
+		pl.scaler.std = std
+		return pl, nil
+	case binKindBagging:
+		nCfg, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		frac, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		seed, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, corruptf("bagging with no members")
+		}
+		b := &Bagging{N: int(nCfg), SampleFrac: frac, Seed: seed}
+		for i := 0; i < n; i++ {
+			m, err := decodeModelBinary(r)
+			if err != nil {
+				return nil, fmt.Errorf("bagging member %d: %w", i, err)
+			}
+			b.models = append(b.models, m)
+		}
+		b.compiled = compileBaggedTrees(b.models)
+		return b, nil
+	case binKindStacking:
+		passThrough, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		kfold, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		seed, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, corruptf("stacking with no base models")
+		}
+		s := &Stacking{PassThrough: passThrough != 0, KFold: int(kfold), Seed: seed}
+		for i := 0; i < n; i++ {
+			m, err := decodeModelBinary(r)
+			if err != nil {
+				return nil, fmt.Errorf("stacking base %d: %w", i, err)
+			}
+			s.bases = append(s.bases, m)
+		}
+		meta, err := decodeModelBinary(r)
+		if err != nil {
+			return nil, fmt.Errorf("stacking meta model: %w", err)
+		}
+		s.meta = meta
+		return s, nil
+	default:
+		return nil, corruptf("unknown binary model kind %d", kind)
+	}
+}
+
+// ModelStats summarises a fitted model's structure for artifact
+// introspection (lam-model info): a human-readable kind, the member
+// tree count and the total flat-table node count (both zero for
+// non-tree estimators).
+type ModelStats struct {
+	Kind  string
+	Trees int
+	Nodes int
+}
+
+// StatsOf computes ModelStats by structural walk; composite estimators
+// (pipeline, bagging, stacking) aggregate their members.
+func StatsOf(m Regressor) ModelStats {
+	switch v := m.(type) {
+	case *DecisionTree:
+		return ModelStats{Kind: "decision_tree", Trees: 1, Nodes: v.nodes.Len()}
+	case *Forest:
+		s := ModelStats{Kind: "forest", Trees: len(v.trees)}
+		if v.compiled != nil {
+			s.Nodes = v.compiled.NumNodes()
+		}
+		return s
+	case *GradientBoosting:
+		s := ModelStats{Kind: "gbr", Trees: len(v.stages)}
+		if v.compiled != nil {
+			s.Nodes = v.compiled.NumNodes()
+		}
+		return s
+	case *LinearRegression:
+		return ModelStats{Kind: "linreg"}
+	case *KNN:
+		return ModelStats{Kind: "knn"}
+	case *Pipeline:
+		inner := StatsOf(v.Model)
+		return ModelStats{Kind: "pipeline(" + inner.Kind + ")", Trees: inner.Trees, Nodes: inner.Nodes}
+	case *Bagging:
+		s := ModelStats{Kind: "bagging"}
+		for _, m := range v.models {
+			ms := StatsOf(m)
+			s.Trees += ms.Trees
+			s.Nodes += ms.Nodes
+		}
+		return s
+	case *Stacking:
+		s := ModelStats{Kind: "stacking"}
+		for _, b := range v.bases {
+			bs := StatsOf(b)
+			s.Trees += bs.Trees
+			s.Nodes += bs.Nodes
+		}
+		if v.meta != nil {
+			ms := StatsOf(v.meta)
+			s.Trees += ms.Trees
+			s.Nodes += ms.Nodes
+		}
+		return s
+	default:
+		return ModelStats{Kind: fmt.Sprintf("%T", m)}
+	}
+}

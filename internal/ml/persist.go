@@ -13,7 +13,16 @@ import (
 //
 // SaveModel writes any supported fitted Regressor; LoadModel restores
 // it. Supported: DecisionTree, Forest, LinearRegression, KNN,
-// GradientBoosting, Pipeline (wrapping any of the former).
+// GradientBoosting, Bagging, Stacking, Pipeline (wrapping any of the
+// former).
+//
+// This file is the jsonv1 side of the artifact codec layer
+// (internal/artifact): SaveModel/LoadModel define the legacy JSON
+// encoding that every registry written before the binary format keeps
+// loading forever, and binary.go defines the lamb1 payload encoding of
+// the same estimators. The two are interconvertible without loss and
+// must stay prediction-bit-identical (asserted by the round-trip
+// property test in internal/artifact).
 
 // modelEnvelope tags the concrete type on disk.
 type modelEnvelope struct {
@@ -137,6 +146,21 @@ type pipelineDTO struct {
 	Model modelEnvelope `json:"model"`
 }
 
+type baggingDTO struct {
+	N          int             `json:"n"`
+	SampleFrac float64         `json:"sample_frac"`
+	Seed       int64           `json:"seed"`
+	Models     []modelEnvelope `json:"models"`
+}
+
+type stackingDTO struct {
+	PassThrough bool            `json:"pass_through"`
+	KFold       int             `json:"kfold"`
+	Seed        int64           `json:"seed"`
+	Bases       []modelEnvelope `json:"bases"`
+	Meta        modelEnvelope   `json:"meta"`
+}
+
 // SaveModel serialises a fitted regressor to w.
 func SaveModel(w io.Writer, m Regressor) error {
 	env, err := encodeModel(m)
@@ -193,6 +217,37 @@ func encodeModel(m Regressor) (*modelEnvelope, error) {
 			return nil, err
 		}
 		kind, payload = "pipeline", pipelineDTO{Mean: v.scaler.mean, Std: v.scaler.std, Model: *inner}
+	case *Bagging:
+		if len(v.models) == 0 {
+			return nil, fmt.Errorf("ml: cannot save unfitted Bagging")
+		}
+		d := baggingDTO{N: v.N, SampleFrac: v.SampleFrac, Seed: v.Seed}
+		for i, m := range v.models {
+			inner, err := encodeModel(m)
+			if err != nil {
+				return nil, fmt.Errorf("ml: bagging member %d: %w", i, err)
+			}
+			d.Models = append(d.Models, *inner)
+		}
+		kind, payload = "bagging", d
+	case *Stacking:
+		if v.meta == nil {
+			return nil, fmt.Errorf("ml: cannot save unfitted Stacking")
+		}
+		d := stackingDTO{PassThrough: v.PassThrough, KFold: v.KFold, Seed: v.Seed}
+		for i, b := range v.bases {
+			inner, err := encodeModel(b)
+			if err != nil {
+				return nil, fmt.Errorf("ml: stacking base %d: %w", i, err)
+			}
+			d.Bases = append(d.Bases, *inner)
+		}
+		meta, err := encodeModel(v.meta)
+		if err != nil {
+			return nil, fmt.Errorf("ml: stacking meta model: %w", err)
+		}
+		d.Meta = *meta
+		kind, payload = "stacking", d
 	default:
 		return nil, fmt.Errorf("ml: SaveModel does not support %T", m)
 	}
@@ -296,6 +351,50 @@ func decodeModel(env modelEnvelope) (Regressor, error) {
 			return nil, fmt.Errorf("ml: corrupt pipeline: missing scaler state")
 		}
 		return p, nil
+	case "bagging":
+		var d baggingDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		if len(d.Models) == 0 {
+			return nil, fmt.Errorf("ml: corrupt bagging: no members")
+		}
+		// NewBase is a factory and is not serialised: a loaded ensemble
+		// predicts with its fitted members but cannot be refitted.
+		b := &Bagging{N: d.N, SampleFrac: d.SampleFrac, Seed: d.Seed}
+		for i, env := range d.Models {
+			m, err := decodeModel(env)
+			if err != nil {
+				return nil, fmt.Errorf("ml: bagging member %d: %w", i, err)
+			}
+			b.models = append(b.models, m)
+		}
+		b.compiled = compileBaggedTrees(b.models)
+		return b, nil
+	case "stacking":
+		var d stackingDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		if len(d.Bases) == 0 {
+			return nil, fmt.Errorf("ml: corrupt stacking: no base models")
+		}
+		// Like Bagging, the factories (NewBases/NewMeta) are not
+		// serialised; the fitted bases and meta model are.
+		s := &Stacking{PassThrough: d.PassThrough, KFold: d.KFold, Seed: d.Seed}
+		for i, env := range d.Bases {
+			m, err := decodeModel(env)
+			if err != nil {
+				return nil, fmt.Errorf("ml: stacking base %d: %w", i, err)
+			}
+			s.bases = append(s.bases, m)
+		}
+		meta, err := decodeModel(d.Meta)
+		if err != nil {
+			return nil, fmt.Errorf("ml: stacking meta model: %w", err)
+		}
+		s.meta = meta
+		return s, nil
 	default:
 		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
 	}

@@ -1,0 +1,290 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lam/internal/artifact"
+	"lam/internal/lamerr"
+	"lam/internal/ml"
+)
+
+// TestFormatDefaultsAndEscapeHatch checks new saves write lamb1 under
+// model.lamb, the jsonv1 escape hatch writes model.json, and both load
+// bit-identically.
+func TestFormatDefaultsAndEscapeHatch(t *testing.T) {
+	hy, X := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Meta{Name: "m", Workload: "stencil-grid", Machine: "bluewaters"}
+	m1, err := reg.SaveHybrid(hy, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Format != artifact.FormatLAMB1 {
+		t.Fatalf("default save format = %q, want lamb1", m1.Format)
+	}
+	m2, err := reg.SaveHybridOpts(hy, base, SaveOptions{Format: artifact.FormatJSONV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Format != artifact.FormatJSONV1 {
+		t.Fatalf("jsonv1 save format = %q", m2.Format)
+	}
+	if _, err := os.Stat(filepath.Join(reg.Root(), "m", "v0001", "model.lamb")); err != nil {
+		t.Fatalf("lamb1 artifact file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(reg.Root(), "m", "v0002", "model.json")); err != nil {
+		t.Fatalf("jsonv1 artifact file: %v", err)
+	}
+	if _, err := reg.SaveHybridOpts(hy, base, SaveOptions{Format: "no-such-format"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+
+	want, err := hy.PredictBatchCtx(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 2; v++ {
+		lm, err := reg.Load("m", v)
+		if err != nil {
+			t.Fatalf("load v%d: %v", v, err)
+		}
+		got, err := lm.PredictBatch(context.Background(), X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("v%d row %d: %v != %v", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLegacyRegistrySniffAndCache simulates a registry written before
+// the codec layer — model.json with no format field in meta.json — and
+// checks it loads unchanged, with the sniffed format cached back into
+// meta.json so the second load skips the probe.
+func TestLegacyRegistrySniffAndCache(t *testing.T) {
+	hy, X := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveHybridOpts(hy, Meta{Name: "legacy", Workload: "stencil-grid", Machine: "bluewaters"},
+		SaveOptions{Format: artifact.FormatJSONV1}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite meta.json without the format field, as a pre-codec build
+	// would have written it.
+	metaPath := filepath.Join(reg.Root(), "legacy", "v0001", "meta.json")
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	delete(fields, "format")
+	stripped, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lm, err := reg.Load("legacy", 0)
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if lm.Meta.Format != artifact.FormatJSONV1 {
+		t.Fatalf("sniffed format = %q, want jsonv1", lm.Meta.Format)
+	}
+	want, err := hy.PredictBatchCtx(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lm.PredictBatch(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// The sniff result must now be cached in meta.json (satellite:
+	// mixed-format registries pay the probe once, not per load).
+	cached, err := reg.readMeta("legacy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Format != artifact.FormatJSONV1 {
+		t.Fatalf("cached format = %q, want jsonv1 written back", cached.Format)
+	}
+}
+
+// TestConvertInPlace converts a version jsonv1 → lamb1 → jsonv1 and
+// checks predictions are bit-identical at every step, the artifact file
+// is swapped, and converting to the current format is a no-op.
+func TestConvertInPlace(t *testing.T) {
+	hy, X := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveHybridOpts(hy, Meta{Name: "c", Workload: "stencil-grid", Machine: "bluewaters"},
+		SaveOptions{Format: artifact.FormatJSONV1}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hy.PredictBatchCtx(context.Background(), X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		lm, err := reg.Load("c", 0)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		got, err := lm.PredictBatch(context.Background(), X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: %v != %v", stage, i, got[i], want[i])
+			}
+		}
+	}
+	vdir := filepath.Join(reg.Root(), "c", "v0001")
+
+	meta, err := reg.Convert("c", 0, artifact.FormatLAMB1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != artifact.FormatLAMB1 {
+		t.Fatalf("converted format = %q", meta.Format)
+	}
+	if _, err := os.Stat(filepath.Join(vdir, "model.json")); !os.IsNotExist(err) {
+		t.Fatalf("old jsonv1 artifact still present after convert: %v", err)
+	}
+	check("after convert to lamb1")
+
+	// No-op convert.
+	if _, err := reg.Convert("c", 0, artifact.FormatLAMB1); err != nil {
+		t.Fatal(err)
+	}
+	check("after no-op convert")
+
+	if _, err := reg.Convert("c", 0, artifact.FormatJSONV1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(vdir, "model.lamb")); !os.IsNotExist(err) {
+		t.Fatalf("old lamb1 artifact still present after convert back: %v", err)
+	}
+	check("after convert back to jsonv1")
+
+	info, _, err := reg.ArtifactInfo("c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != artifact.FormatJSONV1 || info.Kind != KindHybrid {
+		t.Fatalf("ArtifactInfo = %+v", info)
+	}
+	if !strings.HasPrefix(info.Estimator, "hybrid(") {
+		t.Fatalf("estimator = %q", info.Estimator)
+	}
+}
+
+// TestCorruptLamb1FailsTyped damages a saved lamb1 artifact and checks
+// Load fails with ErrCorruptArtifact.
+func TestCorruptLamb1FailsTyped(t *testing.T) {
+	hy, _ := trainFixture(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveHybrid(hy, Meta{Name: "x", Workload: "stencil-grid", Machine: "bluewaters"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(reg.Root(), "x", "v0001", "model.lamb")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("x", 0); !errors.Is(err, lamerr.ErrCorruptArtifact) {
+		t.Fatalf("load of bit-flipped artifact: got %v, want ErrCorruptArtifact", err)
+	}
+}
+
+// benchModel builds a serving-scale regressor: a 100-tree extra-trees
+// pipeline fitted on a few thousand samples, the shape lam-serve
+// actually cold-loads.
+func benchModel(b *testing.B) ml.Regressor {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n, d := 4000, 6
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		y[i] = row[0]*row[1] + row[2]
+	}
+	reg := &ml.Pipeline{Model: ml.NewExtraTrees(100, 1)}
+	if err := reg.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+// benchRegistry publishes the bench model once per format and returns
+// the registry.
+func benchRegistry(b *testing.B, format string) *Registry {
+	b.Helper()
+	reg, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.SaveRegressorOpts(benchModel(b), Meta{Name: "bench"}, SaveOptions{Format: format}); err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+func benchColdLoad(b *testing.B, format string) {
+	reg := benchRegistry(b, format)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Load("bench", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdLoadJSON vs BenchmarkColdLoadBinary is the cold-start
+// claim of the artifact plane: lamb1 loads are one file read plus
+// slice-casting, jsonv1 loads decode per node. See BENCH_PR6.json for
+// recorded runs.
+func BenchmarkColdLoadJSON(b *testing.B)   { benchColdLoad(b, artifact.FormatJSONV1) }
+func BenchmarkColdLoadBinary(b *testing.B) { benchColdLoad(b, artifact.FormatLAMB1) }

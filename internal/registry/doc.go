@@ -6,9 +6,20 @@
 //
 // Layout (one directory per model name, one per version):
 //
-//	<root>/<name>/v0001/meta.json   — Meta: kind, workload, machine, …
-//	<root>/<name>/v0001/model.json  — the serialised model artifact
+//	<root>/<name>/v0001/meta.json   — Meta: kind, format, workload, …
+//	<root>/<name>/v0001/model.lamb  — the artifact (lamb1 flat binary,
+//	                                  the default) — or model.json for
+//	                                  jsonv1 saves and legacy registries
 //	<root>/<name>/v0002/…
+//
+// All byte-level encoding and decoding goes through internal/artifact's
+// codec layer; the registry only decides which codec to use. Saves
+// default to lamb1 (SaveOptions.Format is the escape hatch); loads
+// follow the format recorded in meta.json, and when it is absent (any
+// registry written before the codec layer) sniff the artifact's leading
+// bytes and cache the resolved format back into meta.json so only the
+// first load pays the probe. Convert re-encodes a version in place;
+// ArtifactInfo summarises one without building a serving model.
 //
 // Contracts callers rely on:
 //
@@ -17,6 +28,10 @@
 //     place, so a crashed or concurrent save can never produce a
 //     half-readable version. Multiple Registry handles on one
 //     directory may save concurrently.
+//   - Legacy jsonv1 registries load forever, unchanged; a damaged
+//     artifact in either format fails Load with an error wrapping
+//     lamerr.ErrCorruptArtifact rather than panicking or serving a
+//     silently wrong model.
 //   - Loading a hybrid model reconstructs its analytical component
 //     from the (workload, machine) metadata, exactly as at training
 //     time — which is what the old hybrid.Load required every caller

@@ -318,12 +318,16 @@ func TestVersionDirParsing(t *testing.T) {
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"model.json", "meta.json"} {
-		raw, err := os.ReadFile(filepath.Join(src, f))
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dst, f), raw, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

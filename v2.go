@@ -23,6 +23,7 @@ package lam
 import (
 	"context"
 
+	"lam/internal/artifact"
 	"lam/internal/experiments"
 	"lam/internal/hybrid"
 	"lam/internal/lamerr"
@@ -49,6 +50,10 @@ var (
 	ErrDimension = lamerr.ErrDimension
 	// ErrUnknownModel tags registry names/versions that do not exist.
 	ErrUnknownModel = lamerr.ErrUnknownModel
+	// ErrCorruptArtifact tags model artifacts that fail integrity or
+	// structural validation on load (bad magic, truncation, checksum
+	// mismatch); corrupt artifacts always error, never panic.
+	ErrCorruptArtifact = lamerr.ErrCorruptArtifact
 )
 
 // Predictor is the unified v2 prediction interface: context-first,
@@ -105,6 +110,19 @@ type ModelMeta = registry.Meta
 
 // RegistryModel is a loaded registry version; it implements Predictor.
 type RegistryModel = registry.Model
+
+// SaveOptions tune how a registry save encodes its artifact; the zero
+// value writes the default lamb1 flat binary format.
+type SaveOptions = registry.SaveOptions
+
+// Artifact format names for SaveOptions.Format and Registry.Convert.
+// FormatLAMB1 is the flat binary default (instant cold start: one file
+// read, no per-node decode); FormatJSONV1 is the legacy JSON encoding,
+// readable by every build of this module.
+const (
+	FormatLAMB1  = artifact.FormatLAMB1
+	FormatJSONV1 = artifact.FormatJSONV1
+)
 
 // OpenRegistry opens (creating if necessary) a model registry rooted
 // at dir.

@@ -1,0 +1,147 @@
+// Command lam-gateway fronts a fleet of lam-serve replicas: one HTTP
+// endpoint that multiplies serving capacity while keeping each
+// replica's micro-batch coalescer fed with dense same-model traffic.
+//
+// Usage:
+//
+//	lam-gateway -backends http://127.0.0.1:9001,http://127.0.0.1:9002 \
+//	            [-addr :8080] [-route consistent|random] \
+//	            [-attempts 2] [-bound-factor 1.25] \
+//	            [-probe-interval 500ms] [-probe-timeout 2s] \
+//	            [-eject-after 3] [-readmit-after 2]
+//
+// Routing: POST /predict and /observe are routed by consistent hashing
+// on the model name — each model has a primary replica and a
+// deterministic spill-over order through the rest of the fleet, with a
+// bounded-load check (-bound-factor) that moves requests off a replica
+// whose in-flight count runs past the fleet mean. -route random
+// replaces this with uniform-random selection: the measurement
+// baseline for what affinity buys (see BENCH_PR7.json).
+//
+// Health: every backend's GET /readyz is probed each -probe-interval;
+// -eject-after consecutive failures (probes and request-level
+// connection failures both count) eject it, probes continue while
+// ejected, and -readmit-after consecutive probe successes re-admit it.
+//
+// Spill-over: a connection failure or 429 moves the request to the
+// next ring candidate within a total budget of -attempts; 429
+// Retry-After values are respected as routing cooldowns and forwarded
+// when every attempt sheds. /observe is retried only when the request
+// provably never reached a backend, so observations are never ingested
+// twice.
+//
+// Endpoints:
+//
+//	GET  /healthz  — fleet summary (503 once no backend is live)
+//	GET  /models   — union of every live backend's /models
+//	GET  /metrics  — per-backend counters + routing latency histogram
+//	POST /predict  — proxied, byte-identical to the direct replica call
+//	POST /observe  — proxied (same consistent routing, so a model's
+//	                 observation window stays on one replica)
+//
+// SIGINT/SIGTERM drain gracefully, like lam-serve.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lam/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated lam-serve base URLs (required)")
+	route := flag.String("route", "consistent", "routing policy: consistent (per-model hash ring + bounded-load spill) or random (baseline)")
+	attempts := flag.Int("attempts", 2, "total backend attempts per request (first try + retries)")
+	boundFactor := flag.Float64("bound-factor", 1.25, "bounded-load spill threshold as a multiple of the fleet-mean in-flight count (<= 1 disables)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "active /readyz probe interval per backend")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "one probe's round-trip timeout")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failures (probe or request) that eject a backend")
+	readmitAfter := flag.Int("readmit-after", 2, "consecutive probe successes that re-admit an ejected backend")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	seed := flag.Int64("seed", 1, "random-route mode: PRNG seed")
+	flag.Parse()
+
+	if *backends == "" {
+		fatal(fmt.Errorf("-backends is required"))
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if *route != "consistent" && *route != "random" {
+		fatal(fmt.Errorf("-route must be consistent or random, got %q", *route))
+	}
+
+	g, err := gateway.New(urls, gateway.Config{
+		Health: gateway.HealthConfig{
+			Interval:     *probeInterval,
+			Timeout:      *probeTimeout,
+			EjectAfter:   *ejectAfter,
+			ReadmitAfter: *readmitAfter,
+		},
+		BoundFactor: *boundFactor,
+		MaxAttempts: *attempts,
+		Random:      *route == "random",
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer g.Close()
+	fmt.Fprintf(os.Stderr, "lam-gateway: %s routing over %d backend(s):\n", *route, len(urls))
+	for _, u := range urls {
+		fmt.Fprintf(os.Stderr, "lam-gateway:   %s\n", u)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: g.Handler(),
+		// Same slow-client protections as lam-serve; proxied
+		// predictions are bounded by the replicas, not a write timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "lam-gateway: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		fmt.Fprintf(os.Stderr, "lam-gateway: shutting down (drain %s)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lam-gateway:", err)
+	os.Exit(1)
+}

@@ -10,7 +10,15 @@
 //	            (-x 240,240,160 | -data grid.csv) \
 //	            [-mode closed|open] [-concurrency 32] [-qps 5000] \
 //	            [-duration 10s] [-batch 64] [-batch-fraction 0.25] \
-//	            [-id serve-coalesced] [-json]
+//	            [-targets url1,url2] [-id serve-coalesced] [-json]
+//
+// Fleet modes: -model accepts a comma-separated list — requests cycle
+// through the names, which is how a gateway's per-model routing is
+// exercised. -targets accepts a comma-separated list of base URLs and
+// spreads load across them round-robin WITHOUT a gateway (direct fleet
+// mode): comparing a -targets run against the same load through
+// lam-gateway isolates the gateway's own overhead. Per-target achieved
+// QPS is reported either way.
 //
 // Two load models:
 //
@@ -77,6 +85,18 @@ type jsonReport struct {
 	Batch         int             `json:"batch"`
 	BatchFraction float64         `json:"batch_fraction"`
 	Benchmarks    []jsonBenchmark `json:"benchmarks"`
+	// PerTarget breaks the run down by target URL in direct fleet mode
+	// (-targets with more than one URL).
+	PerTarget []jsonTarget `json:"per_target,omitempty"`
+}
+
+type jsonTarget struct {
+	URL         string  `json:"url"`
+	Requests    uint64  `json:"requests"`
+	Rows        uint64  `json:"rows"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Shed        uint64  `json:"shed"`
+	Errors      uint64  `json:"errors"`
 }
 
 type jsonBenchmark struct {
@@ -100,8 +120,9 @@ type jsonBenchmark struct {
 }
 
 func main() {
-	url := flag.String("url", "http://127.0.0.1:8080", "lam-serve base URL")
-	model := flag.String("model", "", "registry model name to score (required)")
+	url := flag.String("url", "http://127.0.0.1:8080", "lam-serve or lam-gateway base URL")
+	targets := flag.String("targets", "", "comma-separated base URLs for direct fleet mode (round-robin, no gateway); overrides -url")
+	model := flag.String("model", "", "registry model name(s) to score, comma-separated (required; requests cycle through the list)")
 	xFlag := flag.String("x", "", "comma-separated feature row to send (alternative to -data)")
 	dataFile := flag.String("data", "", "lam-datagen CSV whose feature rows are cycled (alternative to -x)")
 	mode := flag.String("mode", "closed", "load model: closed (workers back-to-back) or open (fixed arrival rate)")
@@ -130,11 +151,26 @@ func main() {
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
 	}
+	models := splitList(*model)
+	baseURLs := []string{*url}
+	if *targets != "" {
+		baseURLs = splitList(*targets)
+	}
+	if len(baseURLs) == 0 {
+		fatal(fmt.Errorf("-targets must name at least one URL"))
+	}
+	endpoints := make([]string, len(baseURLs))
+	for i, u := range baseURLs {
+		endpoints[i] = strings.TrimRight(u, "/") + "/predict"
+	}
+	if len(endpoints) > *concurrency {
+		fatal(fmt.Errorf("-concurrency %d is below the %d targets: some targets would get no load", *concurrency, len(endpoints)))
+	}
 	rows, err := loadRows(*xFlag, *dataFile)
 	if err != nil {
 		fatal(err)
 	}
-	bodies := prepareBodies(*model, rows, *batch, *batchFraction)
+	bodies := prepareBodies(models, rows, *batch, *batchFraction)
 
 	client := &http.Client{
 		// Without a timeout, one stalled server request would hang a
@@ -146,14 +182,13 @@ func main() {
 			MaxIdleConnsPerHost: *concurrency * 2,
 		},
 	}
-	endpoint := strings.TrimRight(*url, "/") + "/predict"
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
 
-	fmt.Fprintf(os.Stderr, "lam-loadgen: %s loop against %s, model %s, %d conns", *mode, endpoint, *model, *concurrency)
+	fmt.Fprintf(os.Stderr, "lam-loadgen: %s loop against %s, model %s, %d conns", *mode, strings.Join(endpoints, " "), *model, *concurrency)
 	if *mode == "open" {
 		fmt.Fprintf(os.Stderr, ", %.0f req/s target", *qps)
 	}
@@ -164,18 +199,30 @@ func main() {
 
 	var localDrops uint64
 	start := time.Now()
-	var res result
+	var perTarget []result
 	if *mode == "closed" {
-		res = runClosed(ctx, client, endpoint, bodies, *concurrency)
+		perTarget = runClosed(ctx, client, endpoints, bodies, *concurrency)
 	} else {
-		res = runOpen(ctx, client, endpoint, bodies, *concurrency, *qps, &localDrops)
+		perTarget = runOpen(ctx, client, endpoints, bodies, *concurrency, *qps, &localDrops)
 	}
 	elapsed := time.Since(start)
+	res := merge(perTarget)
 
-	report(*jsonOut, *id, *url, *model, *mode, *concurrency, *qps, *batch, *batchFraction, elapsed, res, localDrops)
+	report(*jsonOut, *id, strings.Join(baseURLs, ","), *model, *mode, *concurrency, *qps, *batch, *batchFraction, elapsed, res, perTarget, baseURLs, localDrops)
 	if res.errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // loadRows resolves the feature-row source: a literal -x row or a CSV.
@@ -221,14 +268,22 @@ type body struct {
 
 // prepareBodies pre-marshals a cycle of request bodies implementing
 // the single/batch mix: out of every run of requests, a deterministic
-// interleave makes fraction f of them batches. Pre-marshalling keeps
-// the generator's own JSON cost out of the measured loop.
-func prepareBodies(model string, rows [][]float64, batchSize int, fraction float64) []body {
+// interleave makes fraction f of them batches, and consecutive bodies
+// cycle through the -model list. Pre-marshalling keeps the generator's
+// own JSON cost out of the measured loop.
+func prepareBodies(models []string, rows [][]float64, batchSize int, fraction float64) []body {
+	if len(models) == 0 {
+		fatal(fmt.Errorf("-model named no models"))
+	}
 	// The cycle is long enough to realise the fraction exactly for
-	// common values and to rotate through -data rows.
+	// common values, to rotate through -data rows, and to cover every
+	// model in the list.
 	n := len(rows)
 	if n < 100 {
 		n = 100
+	}
+	if r := n % len(models); r != 0 {
+		n += len(models) - r // every model appears equally often
 	}
 	bodies := make([]body, 0, n)
 	next := 0 // next -data row to consume
@@ -239,6 +294,7 @@ func prepareBodies(model string, rows [][]float64, batchSize int, fraction float
 	}
 	batches := 0
 	for i := 0; i < n; i++ {
+		model := models[i%len(models)]
 		// Emit a batch whenever the realised batch count falls behind
 		// the target fraction — an error-diffusion interleave.
 		if fraction > 0 && float64(batches) < fraction*float64(i+1) {
@@ -287,7 +343,9 @@ func shoot(client *http.Client, endpoint string, b body, r *result) {
 }
 
 // runClosed is the closed loop: workers chain requests back-to-back.
-func runClosed(ctx context.Context, client *http.Client, endpoint string, bodies []body, workers int) result {
+// Workers are assigned to targets round-robin, and the returned slice
+// holds one merged result per target.
+func runClosed(ctx context.Context, client *http.Client, endpoints []string, bodies []body, workers int) []result {
 	results := make([]result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -295,18 +353,25 @@ func runClosed(ctx context.Context, client *http.Client, endpoint string, bodies
 		go func(w int) {
 			defer wg.Done()
 			r := &results[w]
+			endpoint := endpoints[w%len(endpoints)]
 			for i := w; ctx.Err() == nil; i += workers {
 				shoot(client, endpoint, bodies[i%len(bodies)], r)
 			}
 		}(w)
 	}
 	wg.Wait()
-	return merge(results)
+	perTarget := make([]result, len(endpoints))
+	for w := range results {
+		mergeInto(&perTarget[w%len(endpoints)], results[w])
+	}
+	return perTarget
 }
 
 // runOpen is the open loop: a pacer fires arrivals at the target rate;
 // each arrival runs in its own goroutine, bounded by maxOutstanding.
-func runOpen(ctx context.Context, client *http.Client, endpoint string, bodies []body, maxOutstanding int, qps float64, localDrops *uint64) result {
+// Arrivals cycle through the targets round-robin; the returned slice
+// holds one merged result per target.
+func runOpen(ctx context.Context, client *http.Client, endpoints []string, bodies []body, maxOutstanding int, qps float64, localDrops *uint64) []result {
 	if qps <= 0 {
 		fatal(fmt.Errorf("-qps must be > 0 in open mode"))
 	}
@@ -316,7 +381,7 @@ func runOpen(ctx context.Context, client *http.Client, endpoint string, bodies [
 	}
 	sem := make(chan struct{}, maxOutstanding)
 	var mu sync.Mutex
-	var total result
+	total := make([]result, len(endpoints))
 	var wg sync.WaitGroup
 	var dropped atomic.Uint64
 	fire := func(i int) {
@@ -332,10 +397,11 @@ func runOpen(ctx context.Context, client *http.Client, endpoint string, bodies [
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			t := i % len(endpoints)
 			var r result
-			shoot(client, endpoint, bodies[i%len(bodies)], &r)
+			shoot(client, endpoints[t], bodies[i%len(bodies)], &r)
 			mu.Lock()
-			mergeInto(&total, r)
+			mergeInto(&total[t], r)
 			mu.Unlock()
 		}()
 	}
@@ -391,7 +457,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func report(jsonOut bool, id, url, model, mode string, concurrency int, qps float64, batch int, fraction float64, elapsed time.Duration, r result, localDrops uint64) {
+func report(jsonOut bool, id, url, model, mode string, concurrency int, qps float64, batch int, fraction float64, elapsed time.Duration, r result, perTarget []result, targetURLs []string, localDrops uint64) {
 	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
 	var mean, max time.Duration
 	if n := len(r.latencies); n > 0 {
@@ -436,6 +502,15 @@ func report(jsonOut bool, id, url, model, mode string, concurrency int, qps floa
 				LocalDrops: localDrops,
 			}},
 		}
+		if len(perTarget) > 1 {
+			for t, tr := range perTarget {
+				rep.PerTarget = append(rep.PerTarget, jsonTarget{
+					URL: targetURLs[t], Requests: tr.requests, Rows: tr.rows,
+					AchievedQPS: float64(len(tr.latencies)) / elapsed.Seconds(),
+					Shed:        tr.shed, Errors: tr.errors,
+				})
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -446,6 +521,13 @@ func report(jsonOut bool, id, url, model, mode string, concurrency int, qps floa
 		fmt.Printf("achieved %.1f req/s (%.1f rows/s)\n", achievedQPS, achievedRows)
 		fmt.Printf("latency mean %s  p50 %s  p95 %s  p99 %s  max %s\n", mean, p50, p95, p99, max)
 		fmt.Printf("shed %d (%.2f%%)  errors %d  local drops %d\n", r.shed, shedRate*100, r.errors, localDrops)
+		if len(perTarget) > 1 {
+			for t, tr := range perTarget {
+				fmt.Printf("target %s  %.1f req/s  (%d requests, %d rows, shed %d, errors %d)\n",
+					targetURLs[t], float64(len(tr.latencies))/elapsed.Seconds(),
+					tr.requests, tr.rows, tr.shed, tr.errors)
+			}
+		}
 	}
 	if r.errors > 0 {
 		fmt.Fprintf(os.Stderr, "lam-loadgen: %d requests failed\n", r.errors)

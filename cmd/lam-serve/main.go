@@ -8,6 +8,7 @@
 //	lam-serve -registry ./models [-addr :8080] [-workers N]
 //	         [-max-batch 32] [-max-delay 1ms]
 //	         [-max-inflight 0] [-queue 64]
+//	         [-warm name1,name2] [-inject-latency 0]
 //	         [-online] [-window 512] [-drift-threshold 1.5]
 //	         [-min-samples 64] [-holdout 0.25]
 //
@@ -21,6 +22,9 @@
 // Endpoints:
 //
 //	GET  /healthz  — liveness + stored-model count
+//	GET  /readyz   — readiness: registry reachable and every -warm
+//	                 model resident (503 while warming; the endpoint a
+//	                 fleet gateway health-checks)
 //	GET  /models   — every stored model version's metadata
 //	GET  /metrics  — request/cache/swap (+ online) counters
 //	POST /predict  — {"model":"name","x":[…]} or
@@ -52,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +74,8 @@ func main() {
 	maxDelay := flag.Duration("max-delay", time.Millisecond, "longest a coalesced request waits for batch-mates before a partial flush")
 	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently served /predict requests (0 disables admission control)")
 	queueLen := flag.Int("queue", 64, "requests allowed to wait for an in-flight slot beyond -max-inflight; a full queue sheds with 429")
+	warm := flag.String("warm", "", "comma-separated model names to preload; GET /readyz reports 503 until all are resident (fleet readiness gate)")
+	injectLatency := flag.Duration("inject-latency", 0, "fault injection: sleep this long inside every /predict while holding its admission slot (fleet/capacity testing only; 0 = off)")
 	onlineOn := flag.Bool("online", false, "enable the online adaptation plane (/observe ingest, drift detection, background retrain, hot swap)")
 	window := flag.Int("window", 512, "online: per-model observation window size")
 	driftThreshold := flag.Float64("drift-threshold", 1.5, "online: trip when windowed MAPE exceeds this factor × the model's recorded test MAPE")
@@ -107,6 +114,27 @@ func main() {
 	}
 	if *maxInflight > 0 {
 		fmt.Fprintf(os.Stderr, "lam-serve: admission control on (max inflight %d, queue %d)\n", *maxInflight, *queueLen)
+	}
+	if *injectLatency > 0 {
+		s.InjectLatency = *injectLatency
+		fmt.Fprintf(os.Stderr, "lam-serve: FAULT INJECTION: +%s per /predict (testing aid, not for production)\n", *injectLatency)
+	}
+	if *warm != "" {
+		for _, name := range strings.Split(*warm, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				s.WarmNames = append(s.WarmNames, name)
+			}
+		}
+		// Warm concurrently with serving: the listener comes up
+		// immediately and /readyz flips to 200 once every named model
+		// is resident.
+		go func() {
+			if err := s.Warm(); err != nil {
+				fmt.Fprintf(os.Stderr, "lam-serve: warm: %v (readyz will not report ready)\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "lam-serve: warmed %d model(s), ready\n", len(s.WarmNames))
+		}()
 	}
 	if *onlineOn {
 		plane := online.New(reg, online.Config{

@@ -1,0 +1,312 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lam/internal/ml"
+	"lam/internal/registry"
+	"lam/internal/serve"
+)
+
+// fastHealth keeps test ejection/readmission cycles short.
+var fastHealth = HealthConfig{
+	Interval:     20 * time.Millisecond,
+	Timeout:      250 * time.Millisecond,
+	EjectAfter:   2,
+	ReadmitAfter: 2,
+}
+
+// newFleetRegistry publishes len(names) small trained regressors into
+// a fresh registry dir and returns the dir plus a feature matrix to
+// score.
+func newFleetRegistry(t *testing.T, names []string) (string, [][]float64) {
+	t.Helper()
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const rows, feats = 200, 3
+	X := make([][]float64, rows)
+	Y := make([]float64, rows)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 10}
+		Y[i] = X[i][0]*0.01 + X[i][1]*0.002 + X[i][2]*0.1 + rng.NormFloat64()*0.01
+	}
+	for _, name := range names {
+		et := &ml.Pipeline{Model: ml.NewExtraTrees(15, 7)}
+		if err := et.Fit(X, Y); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.SaveRegressor(et, registry.Meta{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, X[:16]
+}
+
+// killableReplica wraps one replica's handler: while down, every
+// connection (requests and /readyz probes alike) is hijacked and
+// closed without a response — the closest in-process stand-in for a
+// SIGKILLed process.
+type killableReplica struct {
+	down  atomic.Bool
+	inner http.Handler
+}
+
+func (k *killableReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.down.Load() {
+		hijackClose(w)
+		return
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+func hijackClose(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("test server does not support hijacking")
+	}
+	conn, _, err := hj.Hijack()
+	if err == nil {
+		conn.Close()
+	}
+}
+
+// newReplica builds one warmed lam-serve replica over the shared
+// registry dir.
+func newReplica(t *testing.T, dir string, names []string, co serve.CoalesceConfig) (*serve.Server, *killableReplica, *httptest.Server) {
+	t.Helper()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(reg)
+	s.Coalesce = co
+	s.WarmNames = names
+	k := &killableReplica{inner: s.Handler()}
+	ts := httptest.NewServer(k)
+	t.Cleanup(ts.Close)
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	return s, k, ts
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestGatewayBitIdentical is the fleet acceptance check: a response
+// proxied through the gateway is byte-identical to the direct replica
+// call, for single and batch requests, under concurrency.
+func TestGatewayBitIdentical(t *testing.T) {
+	names := []string{"m0", "m1", "m2", "m3"}
+	dir, X := newFleetRegistry(t, names)
+	_, _, r1 := newReplica(t, dir, names, serve.CoalesceConfig{})
+	_, _, r2 := newReplica(t, dir, names, serve.CoalesceConfig{})
+
+	g, err := New([]string{r1.URL, r2.URL}, Config{Health: fastHealth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// One single and one batch body per model, expected bytes taken
+	// from a direct replica call.
+	type probe struct{ body, want []byte }
+	var probes []probe
+	for i, name := range names {
+		single, _ := json.Marshal(map[string]any{"model": name, "x": X[i]})
+		batch, _ := json.Marshal(map[string]any{"model": name, "batch": X})
+		for _, body := range [][]byte{single, batch} {
+			resp, direct := postJSON(t, r1.URL+"/predict", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("direct call failed: %d %s", resp.StatusCode, direct)
+			}
+			probes = append(probes, probe{body: body, want: direct})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				p := probes[(w+i)%len(probes)]
+				resp, got := postJSON(t, gw.URL+"/predict", p.body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("gateway status %d: %s", resp.StatusCode, got)
+					return
+				}
+				if !bytes.Equal(got, p.want) {
+					t.Errorf("gateway response diverged:\n gateway %s\n direct  %s", got, p.want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The aggregated /models must union to exactly the registry's
+	// contents (both replicas share it).
+	resp, body := func() (*http.Response, []byte) {
+		r, err := http.Get(gw.URL + "/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/models status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Models []registry.Meta `json:"models"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Models) != len(names) {
+		t.Fatalf("aggregated /models holds %d entries, want %d: %s", len(doc.Models), len(names), body)
+	}
+}
+
+// TestGatewayEjectsAndRecovers kills one replica mid-load and expects:
+// zero wrong answers throughout, the dead replica ejected and traffic
+// rebalanced onto the survivor, then re-admission and traffic return
+// after recovery.
+func TestGatewayEjectsAndRecovers(t *testing.T) {
+	names := []string{"m0", "m1", "m2", "m3"}
+	dir, X := newFleetRegistry(t, names)
+	_, _, r1 := newReplica(t, dir, names, serve.CoalesceConfig{})
+	_, k2, r2 := newReplica(t, dir, names, serve.CoalesceConfig{})
+
+	g, err := New([]string{r1.URL, r2.URL}, Config{Health: fastHealth, MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// Expected bytes per model from a direct call.
+	want := make(map[string][]byte, len(names))
+	bodies := make(map[string][]byte, len(names))
+	for i, name := range names {
+		body, _ := json.Marshal(map[string]any{"model": name, "x": X[i%len(X)]})
+		bodies[name] = body
+		resp, direct := postJSON(t, r1.URL+"/predict", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("direct call failed: %d %s", resp.StatusCode, direct)
+		}
+		want[name] = direct
+	}
+
+	// Continuous background load: every answer must be a correct 200 —
+	// through the kill, the ejection, and the recovery.
+	stop := make(chan struct{})
+	var wrong, total atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[(w+i)%len(names)]
+				resp, got := postJSON(t, gw.URL+"/predict", bodies[name])
+				total.Add(1)
+				if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want[name]) {
+					wrong.Add(1)
+					t.Errorf("during fleet churn: status %d body %s (want %s)", resp.StatusCode, got, want[name])
+					return
+				}
+			}
+		}(w)
+	}
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	b2 := g.backends[1]
+
+	time.Sleep(100 * time.Millisecond) // load flows through both
+	k2.down.Store(true)                // SIGKILL stand-in
+	waitFor("replica 2 ejection", func() bool { return !b2.health.live() })
+	if got := b2.health.ejections.Load(); got < 1 {
+		t.Fatalf("ejections = %d, want >= 1", got)
+	}
+
+	// Traffic has rebalanced: replica 2 receives nothing while ejected.
+	base := b2.metrics.Requests.Load()
+	before := total.Load()
+	waitFor("25 served requests during ejection", func() bool { return total.Load() >= before+25 })
+	if got := b2.metrics.Requests.Load(); got != base {
+		t.Fatalf("ejected replica still received %d request(s)", got-base)
+	}
+
+	k2.down.Store(false) // recovery
+	waitFor("replica 2 re-admission", func() bool { return b2.health.live() })
+	// Traffic returns — but only if the ring actually made replica 2
+	// primary for one of the driven models (the httptest ports are
+	// random, so the hash split varies per run).
+	var buf [maxBackends]int
+	primaryOn2 := false
+	for _, name := range names {
+		if g.ring.candidates(name, buf[:])[0] == 1 {
+			primaryOn2 = true
+			break
+		}
+	}
+	if primaryOn2 {
+		readmitted := b2.metrics.Requests.Load()
+		waitFor("traffic back on replica 2", func() bool { return b2.metrics.Requests.Load() > readmitted })
+	}
+
+	close(stop)
+	wg.Wait()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d wrong answers out of %d", wrong.Load(), total.Load())
+	}
+	if total.Load() == 0 {
+		t.Fatal("no requests flowed")
+	}
+}

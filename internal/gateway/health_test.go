@@ -1,0 +1,99 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHealthStateMachine(t *testing.T) {
+	h := newHealth(HealthConfig{EjectAfter: 3, ReadmitAfter: 2}.withDefaults())
+	if !h.live() {
+		t.Fatal("new backend must start live")
+	}
+	h.reportFailure()
+	h.reportFailure()
+	if !h.live() {
+		t.Fatal("ejected before EjectAfter consecutive failures")
+	}
+	// A success resets the streak.
+	h.reportRequestSuccess()
+	h.reportFailure()
+	h.reportFailure()
+	if !h.live() {
+		t.Fatal("failure streak did not reset on success")
+	}
+	h.reportFailure()
+	if h.live() {
+		t.Fatal("not ejected after EjectAfter consecutive failures")
+	}
+	if got := h.ejections.Load(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+	// Half-open: one probe success is not enough.
+	h.reportProbeSuccess()
+	if h.live() {
+		t.Fatal("re-admitted after a single probe success")
+	}
+	// A failure while half-open drops straight back.
+	h.reportFailure()
+	h.reportProbeSuccess()
+	if h.live() {
+		t.Fatal("half-open failure did not reset the success streak")
+	}
+	h.reportProbeSuccess()
+	if !h.live() {
+		t.Fatal("not re-admitted after ReadmitAfter consecutive probe successes")
+	}
+	// Re-admission must not leave a stale failure streak behind: one
+	// new failure is a fresh streak of one, not EjectAfter + one.
+	h.reportFailure()
+	if !h.live() {
+		t.Fatal("single failure after re-admission ejected the backend")
+	}
+}
+
+// TestProbeLoopEjectsAndReadmits runs the active prober against a
+// replica whose /readyz flips 200 → 503 → 200.
+func TestProbeLoopEjectsAndReadmits(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready.Load() {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	g, err := New([]string{ts.URL}, Config{Health: fastHealth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	b := g.backends[0]
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("first probe success", func() bool { return b.health.lastProbeOK.Load() })
+	ready.Store(false)
+	waitFor("ejection on failing readyz", func() bool { return !b.health.live() })
+	ready.Store(true)
+	waitFor("re-admission on recovered readyz", func() bool { return b.health.live() })
+	if got := b.health.ejections.Load(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+}

@@ -1,0 +1,183 @@
+package gateway
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// maxInt64 is an atomic high-water-mark tracker (same idiom as
+// internal/serve).
+type maxInt64 struct{ atomic.Int64 }
+
+func (g *maxInt64) max(v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// routeBucketBoundsNs are the upper bounds (inclusive, nanoseconds) of
+// the routing-decision latency histogram: the time spent picking a
+// backend (hash, candidate walk, bounded-load check) per proxied
+// request, not the proxied round trip itself. Routing is expected in
+// the sub-microsecond range; the tail buckets exist to surface
+// contention regressions.
+var routeBucketBoundsNs = [...]uint64{
+	250,       // 0.25µs
+	1_000,     // 1µs
+	4_000,     // 4µs
+	16_000,    // 16µs
+	64_000,    // 64µs
+	256_000,   // 256µs
+	1_000_000, // 1ms
+}
+
+// numRouteBuckets includes the +Inf overflow bucket.
+const numRouteBuckets = len(routeBucketBoundsNs) + 1
+
+// backendMetrics is one backend's counter set. Counters are atomics:
+// the proxy hot path touches them lock-free.
+type backendMetrics struct {
+	// Requests counts attempts proxied to this backend (a request
+	// retried onto a second backend counts once per backend tried).
+	Requests atomic.Uint64
+	// Retries counts attempts to this backend that were retries — the
+	// request failed or was shed elsewhere first.
+	Retries atomic.Uint64
+	// Failures counts attempts that died in transport (connection
+	// refused/reset, timeout) — the passive ejection signal.
+	Failures atomic.Uint64
+	// Shed429 counts 429 responses received from this backend; each is
+	// a spill-over opportunity for the next ring candidate.
+	Shed429 atomic.Uint64
+	// Inflight is the live number of proxied requests outstanding
+	// against this backend — the bounded-load routing signal — with its
+	// high-water mark.
+	Inflight     atomic.Int64
+	InflightPeak maxInt64
+	// SpillsAway counts requests whose bounded-load check moved them
+	// off this backend while it was their ring primary.
+	SpillsAway atomic.Uint64
+}
+
+// Metrics is the gateway's counter set, exposed at GET /metrics.
+type Metrics struct {
+	// PredictRequests / ObserveRequests count client requests by
+	// endpoint (not attempts; one request may try several backends).
+	PredictRequests atomic.Uint64
+	ObserveRequests atomic.Uint64
+	// Retries counts backend attempts beyond each request's first.
+	Retries atomic.Uint64
+	// Spilled429 counts requests answered by a non-primary backend
+	// after a 429 elsewhere; SpilledFailure the same for transport
+	// failures.
+	Spilled429     atomic.Uint64
+	SpilledFailure atomic.Uint64
+	// NoBackend counts requests refused with 503 because no live
+	// backend remained to try.
+	NoBackend atomic.Uint64
+	// Errors counts requests answered 5xx by the gateway itself
+	// (NoBackend included) — never requests a backend answered.
+	Errors atomic.Uint64
+	// RouteDecisionNs accumulates time spent choosing backends;
+	// RouteDecisions the number of decisions; RouteBuckets the
+	// per-interval histogram counts (cumulated into le_ns form by
+	// /metrics, same convention as internal/serve's predict histogram).
+	RouteDecisionNs atomic.Uint64
+	RouteDecisions  atomic.Uint64
+	RouteBuckets    [numRouteBuckets]atomic.Uint64
+}
+
+// observeRouteLatency records one routing decision.
+func (m *Metrics) observeRouteLatency(d time.Duration) {
+	ns := uint64(d)
+	m.RouteDecisionNs.Add(ns)
+	m.RouteDecisions.Add(1)
+	for i, b := range routeBucketBoundsNs {
+		if ns <= b {
+			m.RouteBuckets[i].Add(1)
+			return
+		}
+	}
+	m.RouteBuckets[numRouteBuckets-1].Add(1)
+}
+
+// routeBucket is one histogram entry in the /metrics JSON; LeNs nil
+// marks the +Inf bucket.
+type routeBucket struct {
+	LeNs  *uint64 `json:"le_ns"`
+	Count uint64  `json:"count"`
+}
+
+// backendSnapshot is one backend's row in the /metrics document.
+type backendSnapshot struct {
+	URL          string `json:"url"`
+	Live         bool   `json:"live"`
+	Requests     uint64 `json:"requests"`
+	Retries      uint64 `json:"retries"`
+	Failures     uint64 `json:"failures"`
+	Shed429      uint64 `json:"shed_429"`
+	Ejections    uint64 `json:"ejections"`
+	Inflight     int64  `json:"inflight"`
+	InflightPeak int64  `json:"inflight_peak"`
+	SpillsAway   uint64 `json:"spills_away"`
+}
+
+// metricsSnapshot is the JSON shape of the gateway's GET /metrics.
+type metricsSnapshot struct {
+	PredictRequests uint64            `json:"predict_requests"`
+	ObserveRequests uint64            `json:"observe_requests"`
+	Retries         uint64            `json:"retries"`
+	Spilled429      uint64            `json:"spilled_429"`
+	SpilledFailure  uint64            `json:"spilled_failure"`
+	NoBackend       uint64            `json:"no_backend"`
+	Errors          uint64            `json:"errors"`
+	RouteDecisionNs uint64            `json:"route_decision_ns_total"`
+	RouteDecisions  uint64            `json:"route_decisions"`
+	RouteBuckets    []routeBucket     `json:"route_decision_buckets"`
+	Backends        []backendSnapshot `json:"backends"`
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := &g.Metrics
+	buckets := make([]routeBucket, numRouteBuckets)
+	var cum uint64
+	for i := range routeBucketBoundsNs {
+		le := routeBucketBoundsNs[i]
+		cum += m.RouteBuckets[i].Load()
+		buckets[i] = routeBucket{LeNs: &le, Count: cum}
+	}
+	cum += m.RouteBuckets[numRouteBuckets-1].Load()
+	buckets[numRouteBuckets-1] = routeBucket{Count: cum}
+	snap := metricsSnapshot{
+		PredictRequests: m.PredictRequests.Load(),
+		ObserveRequests: m.ObserveRequests.Load(),
+		Retries:         m.Retries.Load(),
+		Spilled429:      m.Spilled429.Load(),
+		SpilledFailure:  m.SpilledFailure.Load(),
+		NoBackend:       m.NoBackend.Load(),
+		Errors:          m.Errors.Load(),
+		RouteDecisionNs: m.RouteDecisionNs.Load(),
+		RouteDecisions:  m.RouteDecisions.Load(),
+		RouteBuckets:    buckets,
+		Backends:        make([]backendSnapshot, len(g.backends)),
+	}
+	for i, b := range g.backends {
+		snap.Backends[i] = backendSnapshot{
+			URL:          b.url,
+			Live:         b.health.live(),
+			Requests:     b.metrics.Requests.Load(),
+			Retries:      b.metrics.Retries.Load(),
+			Failures:     b.metrics.Failures.Load(),
+			Shed429:      b.metrics.Shed429.Load(),
+			Ejections:    b.health.ejections.Load(),
+			Inflight:     b.metrics.Inflight.Load(),
+			InflightPeak: b.metrics.InflightPeak.Load(),
+			SpillsAway:   b.metrics.SpillsAway.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}

@@ -1,0 +1,515 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lam/internal/registry"
+)
+
+// maxRequestBytes bounds a proxied request body — the same 64 MiB cap
+// internal/serve applies, enforced here so an oversized POST is
+// refused before it is buffered for retry.
+const maxRequestBytes = 64 << 20
+
+// maxBackends bounds the fleet size (the ring's candidate walk uses a
+// 64-bit visited mask).
+const maxBackends = 64
+
+// cooldownCap bounds how long a backend's Retry-After can keep it
+// deprioritized: a replica advertising a huge backoff must not be able
+// to write itself out of the fleet.
+const cooldownCap = 5 * time.Second
+
+// Config tunes the gateway. The zero value gets defaults in New.
+type Config struct {
+	// Health is the active checking + ejection policy.
+	Health HealthConfig
+	// BoundFactor is the bounded-load spill threshold: a request's
+	// primary replica is skipped when its in-flight count exceeds
+	// BoundFactor × the fleet-wide mean (the consistent-hashing-with-
+	// bounded-loads rule), trading a little batch density for an upper
+	// bound on hot-model imbalance. <= 1 disables spilling; default 1.25.
+	BoundFactor float64
+	// MaxAttempts is the total backend attempts one client request may
+	// consume (first try + retries). Default 2.
+	MaxAttempts int
+	// Random replaces consistent routing with a uniform-random live
+	// backend per request — the comparison baseline for measuring what
+	// per-model affinity buys the replicas' coalescers. Default false.
+	Random bool
+	// Seed seeds the Random mode's generator; 0 means 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	c.Health = c.Health.withDefaults()
+	if c.BoundFactor == 0 {
+		c.BoundFactor = 1.25
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// backend is one lam-serve replica: its base URL, a dedicated pooled
+// HTTP client (per-backend pooling keeps one slow replica from
+// starving the others' idle connections), its health state machine and
+// its counter set.
+type backend struct {
+	url     string
+	client  *http.Client
+	health  *health
+	metrics backendMetrics
+	// cooldownUntil is a unix-nano deadline set from a 429's
+	// Retry-After: until it passes, routing deprioritizes this backend
+	// (used only when every other live candidate is also cooling down).
+	cooldownUntil atomic.Int64
+}
+
+// Gateway fronts a fleet of lam-serve replicas: per-model consistent
+// routing with bounded-load spill, active health ejection, and
+// retry/spill-over on 429s and connection failures.
+type Gateway struct {
+	backends []*backend
+	ring     *ring
+	cfg      Config
+	// Metrics is the gateway's counter set (GET /metrics). Exported so
+	// tests and embedders can read it.
+	Metrics Metrics
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	cancel context.CancelFunc
+}
+
+// New builds a gateway over the given replica base URLs and starts the
+// active health probers. Call Close to stop them.
+func New(urls []string, cfg Config) (*Gateway, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("gateway: at least one backend URL is required")
+	}
+	if len(urls) > maxBackends {
+		return nil, fmt.Errorf("gateway: %d backends exceeds the maximum of %d", len(urls), maxBackends)
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	seen := make(map[string]bool, len(urls))
+	normalized := make([]string, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("gateway: empty backend URL")
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("gateway: backend %q must be an http(s) URL", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("gateway: duplicate backend %q", u)
+		}
+		seen[u] = true
+		normalized = append(normalized, u)
+		g.backends = append(g.backends, &backend{
+			url: u,
+			client: &http.Client{
+				// No overall timeout: a slow prediction must be allowed
+				// to finish, and the client request context already
+				// cancels abandoned work. Probes get their own timeout.
+				Transport: &http.Transport{
+					MaxIdleConns:        256,
+					MaxIdleConnsPerHost: 256,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			},
+			health: newHealth(cfg.Health),
+		})
+	}
+	g.ring = newRing(normalized)
+	ctx, cancel := context.WithCancel(context.Background())
+	g.cancel = cancel
+	for _, b := range g.backends {
+		go probeLoop(ctx, b.client, b.url+"/readyz", b.health)
+	}
+	return g, nil
+}
+
+// Close stops the health probers and releases pooled connections.
+func (g *Gateway) Close() {
+	g.cancel()
+	for _, b := range g.backends {
+		b.client.CloseIdleConnections()
+	}
+}
+
+// Handler returns the gateway's HTTP routes.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /models", g.handleModels)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		g.Metrics.PredictRequests.Add(1)
+		g.proxy(w, r, "/predict", true)
+	})
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		g.Metrics.ObserveRequests.Add(1)
+		g.proxy(w, r, "/observe", false)
+	})
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// modelPeek extracts the one field routing needs from a request body.
+type modelPeek struct {
+	Model string `json:"model"`
+}
+
+// tryOrder returns the ordered backends this request may attempt:
+// live candidates in ring order for the model (or a uniform-random
+// permutation in Random mode), rotated so the first entry respects the
+// bounded-load rule and active cooldowns. The walk is the routing
+// decision proper and is what the route-latency histogram measures.
+func (g *Gateway) tryOrder(model string, buf []int) []int {
+	start := time.Now()
+	defer func() { g.Metrics.observeRouteLatency(time.Since(start)) }()
+
+	if g.cfg.Random {
+		g.rngMu.Lock()
+		perm := g.rng.Perm(len(g.backends))
+		g.rngMu.Unlock()
+		live := buf[:0]
+		for _, i := range perm {
+			if g.backends[i].health.live() {
+				live = append(live, i)
+			}
+		}
+		return live
+	}
+
+	cands := g.ring.candidates(model, buf)
+	live := cands[:0] // filter in place: cands is not reused
+	for _, i := range cands {
+		if g.backends[i].health.live() {
+			live = append(live, i)
+		}
+	}
+	if len(live) <= 1 {
+		return live
+	}
+	// Bounded load: skip the primary while its in-flight count exceeds
+	// BoundFactor × the live-fleet mean. The chosen start is a rotation,
+	// not a reorder — spill-over retries still walk the ring sequence.
+	if g.cfg.BoundFactor > 1 {
+		var total int64
+		for _, b := range g.backends {
+			total += b.metrics.Inflight.Load()
+		}
+		bound := int64(g.cfg.BoundFactor * float64(total+1) / float64(len(live)))
+		if bound < 1 {
+			bound = 1
+		}
+		for off := 0; off < len(live); off++ {
+			if g.backends[live[off]].metrics.Inflight.Load() < bound {
+				if off > 0 {
+					g.backends[live[0]].metrics.SpillsAway.Add(1)
+					rotate(live, off)
+				}
+				break
+			}
+		}
+	}
+	// Cooldown (Retry-After) deprioritization: rotate past backends
+	// that recently shed, unless every candidate is cooling down.
+	now := time.Now().UnixNano()
+	for off := 0; off < len(live); off++ {
+		if g.backends[live[off]].cooldownUntil.Load() <= now {
+			rotate(live, off)
+			break
+		}
+	}
+	return live
+}
+
+// rotate moves live[off:] to the front, preserving relative order.
+func rotate(live []int, off int) {
+	if off == 0 {
+		return
+	}
+	tmp := make([]int, 0, len(live))
+	tmp = append(tmp, live[off:]...)
+	tmp = append(tmp, live[:off]...)
+	copy(live, tmp)
+}
+
+// proxy forwards one model-addressed POST to the fleet. The body is
+// buffered (routing needs the model name and a retry needs to resend
+// it); the response streams straight through, so a forwarded answer is
+// byte-identical to the backend's. idempotent requests (/predict) may
+// be retried after any transport failure; non-idempotent ones
+// (/observe) are retried only when the failure provably happened
+// before the request reached a backend (a dial error) or when the
+// backend shed it with 429 before processing — never after bytes were
+// written to a live connection, so an observation is never ingested
+// twice.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string, idempotent bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		status := http.StatusBadRequest
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		g.Metrics.Errors.Add(1)
+		writeJSON(w, status, errorResponse{Error: fmt.Sprintf("gateway: reading request body: %v", err)})
+		return
+	}
+	// A body the gateway cannot peek a model out of still gets
+	// forwarded (with an empty routing key): the backend owns the
+	// authoritative 400 so error responses are byte-identical too.
+	var peek modelPeek
+	_ = json.Unmarshal(body, &peek)
+
+	var orderBuf [maxBackends]int
+	order := g.tryOrder(peek.Model, orderBuf[:])
+	if len(order) == 0 {
+		g.Metrics.NoBackend.Add(1)
+		g.Metrics.Errors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "gateway: no live backend"})
+		return
+	}
+	attempts := g.cfg.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+
+	var lastErr error
+	spill429 := false
+	for attempt := 0; attempt < attempts; attempt++ {
+		b := g.backends[order[attempt]]
+		b.metrics.Requests.Add(1)
+		if attempt > 0 {
+			b.metrics.Retries.Add(1)
+			g.Metrics.Retries.Add(1)
+		}
+		resp, err := g.attempt(r.Context(), b, endpoint, body, r.Header.Get("Content-Type"))
+		if err != nil {
+			b.metrics.Failures.Add(1)
+			b.health.reportFailure()
+			lastErr = err
+			if r.Context().Err() != nil {
+				// The client is gone; nothing to retry for.
+				break
+			}
+			if attempt+1 < attempts && (idempotent || isDialError(err)) {
+				continue
+			}
+			break
+		}
+		b.health.reportRequestSuccess()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			b.metrics.Shed429.Add(1)
+			b.cooldownUntil.Store(time.Now().Add(retryAfter(resp)).UnixNano())
+			if attempt+1 < attempts {
+				// Spill over: the next ring candidate gets one shot. A
+				// 429 always precedes processing, so this is safe for
+				// /observe too.
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				spill429 = true
+				continue
+			}
+		}
+		if attempt > 0 {
+			if spill429 {
+				g.Metrics.Spilled429.Add(1)
+			} else {
+				g.Metrics.SpilledFailure.Add(1)
+			}
+		}
+		forward(w, resp)
+		return
+	}
+	g.Metrics.Errors.Add(1)
+	writeJSON(w, http.StatusBadGateway, errorResponse{
+		Error: fmt.Sprintf("gateway: all attempts failed: %v", lastErr),
+	})
+}
+
+// attempt issues one backend round trip, tracking the in-flight gauge
+// the bounded-load router reads. The response body is the caller's to
+// close.
+func (g *Gateway) attempt(ctx context.Context, b *backend, endpoint string, body []byte, contentType string) (*http.Response, error) {
+	inflight := b.metrics.Inflight.Add(1)
+	b.metrics.InflightPeak.max(inflight)
+	defer b.metrics.Inflight.Add(-1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.ContentLength = int64(len(body))
+	return b.client.Do(req)
+}
+
+// forward streams a backend response to the client unchanged: status,
+// the headers the API uses, and the body bytes verbatim — the
+// bit-identity contract for proxied predictions.
+func forward(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// retryAfter parses a 429's Retry-After seconds, capped so a
+// misbehaving replica cannot cool itself out of the fleet.
+func retryAfter(resp *http.Response) time.Duration {
+	s, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || s < 0 {
+		return time.Second
+	}
+	d := time.Duration(s) * time.Second
+	if d > cooldownCap {
+		d = cooldownCap
+	}
+	return d
+}
+
+// isDialError reports whether err happened while establishing the
+// connection — before any request bytes could have reached a backend,
+// which is what makes retrying a non-idempotent request safe.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// handleHealthz summarizes fleet liveness: 200 while at least one
+// backend is live, 503 once none are.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type backendHealthz struct {
+		URL         string `json:"url"`
+		Live        bool   `json:"live"`
+		LastProbeOK bool   `json:"last_probe_ok"`
+		Ejections   uint64 `json:"ejections"`
+	}
+	out := struct {
+		Status   string           `json:"status"`
+		Live     int              `json:"live"`
+		Total    int              `json:"total"`
+		Backends []backendHealthz `json:"backends"`
+	}{Total: len(g.backends)}
+	for _, b := range g.backends {
+		live := b.health.live()
+		if live {
+			out.Live++
+		}
+		out.Backends = append(out.Backends, backendHealthz{
+			URL: b.url, Live: live,
+			LastProbeOK: b.health.lastProbeOK.Load(),
+			Ejections:   b.health.ejections.Load(),
+		})
+	}
+	status := http.StatusOK
+	out.Status = "ok"
+	if out.Live == 0 {
+		status = http.StatusServiceUnavailable
+		out.Status = "down"
+	} else if out.Live < out.Total {
+		out.Status = "degraded"
+	}
+	writeJSON(w, status, out)
+}
+
+// handleModels aggregates every live backend's /models. Replicas share
+// one registry, so the union is normally identical to any single
+// answer; deduplication by (name, version) covers a replica that has
+// not yet observed a just-published version.
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	type modelsDoc struct {
+		Models []registry.Meta `json:"models"`
+	}
+	seen := make(map[string]bool)
+	var merged []registry.Meta
+	var lastErr error
+	answered := false
+	for _, b := range g.backends {
+		if !b.health.live() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+"/models", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := b.client.Do(req)
+		if err != nil {
+			b.health.reportFailure()
+			lastErr = err
+			continue
+		}
+		var doc modelsDoc
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("backend %s /models: status %d, %v", b.url, resp.StatusCode, err)
+			continue
+		}
+		answered = true
+		for _, m := range doc.Models {
+			key := m.Name + "@" + strconv.Itoa(m.Version)
+			if !seen[key] {
+				seen[key] = true
+				merged = append(merged, m)
+			}
+		}
+	}
+	if !answered {
+		g.Metrics.Errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: fmt.Sprintf("gateway: no backend answered /models: %v", lastErr),
+		})
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Name != merged[j].Name {
+			return merged[i].Name < merged[j].Name
+		}
+		return merged[i].Version < merged[j].Version
+	})
+	writeJSON(w, http.StatusOK, modelsDoc{Models: merged})
+}

@@ -1,0 +1,102 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVnodesPerBackend is the number of virtual nodes each backend
+// contributes to the hash ring. 128 points per backend keeps the
+// largest-to-smallest arc ratio low enough that a handful of model
+// names spread acceptably across a handful of replicas; the ring is
+// built once at startup, so the only cost is a few KiB.
+const ringVnodesPerBackend = 128
+
+// ring is a consistent hash ring over backend indices. It is immutable
+// after construction: the backend set is fixed for the life of the
+// gateway process, and liveness is layered on top by the caller
+// (ejected backends are skipped at selection time, not removed from
+// the ring — so a recovered backend gets exactly its old arcs back and
+// model→replica affinity survives the outage).
+type ring struct {
+	// vnodeHashes is sorted ascending; vnodeOwner[i] is the backend
+	// index owning vnodeHashes[i].
+	vnodeHashes []uint64
+	vnodeOwner  []int
+	n           int // backend count
+}
+
+// newRing builds the ring for n backends identified by their URLs.
+// Vnode hashes mix the backend URL with the vnode ordinal so two
+// gateways configured with the same backend list (in any order) agree
+// on every model's candidate sequence.
+func newRing(urls []string) *ring {
+	r := &ring{n: len(urls)}
+	type vn struct {
+		h     uint64
+		owner int
+	}
+	vns := make([]vn, 0, len(urls)*ringVnodesPerBackend)
+	for i, u := range urls {
+		for k := 0; k < ringVnodesPerBackend; k++ {
+			vns = append(vns, vn{h: hashKey(u + "#" + strconv.Itoa(k)), owner: i})
+		}
+	}
+	sort.Slice(vns, func(a, b int) bool { return vns[a].h < vns[b].h })
+	r.vnodeHashes = make([]uint64, len(vns))
+	r.vnodeOwner = make([]int, len(vns))
+	for i, v := range vns {
+		r.vnodeHashes[i] = v.h
+		r.vnodeOwner[i] = v.owner
+	}
+	return r
+}
+
+// hashKey is 64-bit FNV-1a plus a finalizer: fast, dependency-free,
+// and stable across processes and architectures (routing must agree
+// between gateway restarts so replica-local caches stay warm). The
+// finalizer matters: raw FNV-1a of a short key leaves the product's
+// high bits nearly untouched by the last byte (one ~2^40 prime
+// multiply cannot avalanche to the top), so sibling model names like
+// "m0".."m9" would all land within one narrow region of the ring and
+// hash to the same replica. The mix spreads them uniformly.
+func hashKey(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	// murmur3 fmix64 finalizer: full avalanche in three xor-multiplies.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// candidates appends to buf the distinct backend indices in ring order
+// starting at key's successor vnode: buf[0] is the model's primary
+// replica, buf[1] the first spill-over target, and so on through every
+// backend exactly once. The full-fleet ordering is what makes
+// spill-over deterministic: every gateway-side retry for a model walks
+// the same sequence.
+func (r *ring) candidates(key string, buf []int) []int {
+	buf = buf[:0]
+	if r.n == 0 {
+		return buf
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.vnodeHashes), func(i int) bool { return r.vnodeHashes[i] >= h })
+	seen := 0
+	var mask uint64 // backend count is small (≤ 64 enforced by config)
+	for i := 0; seen < r.n && i < len(r.vnodeOwner); i++ {
+		owner := r.vnodeOwner[(start+i)%len(r.vnodeOwner)]
+		if mask&(1<<uint(owner)) != 0 {
+			continue
+		}
+		mask |= 1 << uint(owner)
+		buf = append(buf, owner)
+		seen++
+	}
+	return buf
+}

@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingCandidatesCompleteAndStable(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(urls)
+	var buf [maxBackends]int
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		c1 := append([]int(nil), r.candidates(key, buf[:])...)
+		if len(c1) != len(urls) {
+			t.Fatalf("key %q: %d candidates, want %d", key, len(c1), len(urls))
+		}
+		seen := map[int]bool{}
+		for _, b := range c1 {
+			if b < 0 || b >= len(urls) || seen[b] {
+				t.Fatalf("key %q: bad candidate list %v", key, c1)
+			}
+			seen[b] = true
+		}
+		c2 := r.candidates(key, buf[:])
+		for j := range c1 {
+			if c1[j] != c2[j] {
+				t.Fatalf("key %q: candidate order not deterministic: %v vs %v", key, c1, c2)
+			}
+		}
+	}
+}
+
+// TestRingDistribution checks the vnode count gives an acceptable
+// primary spread: over many keys, no backend of four may own less
+// than 10% or more than 45% of primaries.
+func TestRingDistribution(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(urls)
+	counts := make([]int, len(urls))
+	const keys = 4000
+	var buf [maxBackends]int
+	for i := 0; i < keys; i++ {
+		counts[r.candidates(fmt.Sprintf("model-%d", i), buf[:])[0]]++
+	}
+	for b, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("backend %d owns %.1f%% of primaries (counts %v)", b, share*100, counts)
+		}
+	}
+}
+
+// TestRingSiblingNamesSpread pins the hashKey finalizer: short model
+// names differing in one trailing character ("m0".."m15", the shape
+// real registries use) must spread across a two-backend fleet. Raw
+// FNV-1a fails this — its last-byte avalanche cannot reach the high
+// bits that position a key on the ring, so every sibling lands in one
+// narrow region and the fleet degenerates to a single replica.
+func TestRingSiblingNamesSpread(t *testing.T) {
+	r := newRing([]string{"http://10.0.0.1:9001", "http://10.0.0.2:9001"})
+	var buf [maxBackends]int
+	counts := make([]int, 2)
+	for i := 0; i < 16; i++ {
+		counts[r.candidates(fmt.Sprintf("m%d", i), buf[:])[0]]++
+	}
+	if counts[0] < 3 || counts[1] < 3 {
+		t.Fatalf("sibling model names m0..m15 split %v across two backends — hash clustering", counts)
+	}
+}
+
+// TestRingAgreesAcrossBackendOrder: two gateways configured with the
+// same fleet in different list order must route every model the same
+// way (vnode hashes mix the URL, not the list index).
+func TestRingAgreesAcrossBackendOrder(t *testing.T) {
+	urlsA := []string{"http://a:1", "http://b:1", "http://c:1"}
+	urlsB := []string{"http://c:1", "http://a:1", "http://b:1"}
+	ra, rb := newRing(urlsA), newRing(urlsB)
+	var bufA, bufB [maxBackends]int
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		ca := ra.candidates(key, bufA[:])
+		cb := rb.candidates(key, bufB[:])
+		for j := range ca {
+			if urlsA[ca[j]] != urlsB[cb[j]] {
+				t.Fatalf("key %q: order-dependent routing: %v(A-indexed) vs %v(B-indexed)", key, ca, cb)
+			}
+		}
+	}
+}

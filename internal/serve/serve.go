@@ -35,6 +35,17 @@ type Server struct {
 	// AdmitConfig). Set before Handler; the zero value admits
 	// everything.
 	Admit AdmitConfig
+	// WarmNames lists models that must be resident in the hot-swap
+	// pointer before GET /readyz reports ready — the fleet-admission
+	// gate a gateway health-checks before routing traffic here. Set
+	// before Handler; Warm loads them.
+	WarmNames []string
+	// InjectLatency, when > 0, sleeps that long inside every /predict
+	// while holding its admission slot. It is a fault-injection aid for
+	// fleet and capacity testing (emulating slower replicas or
+	// constrained hardware so routing, shedding and spill-over can be
+	// exercised deterministically); it must stay 0 in production.
+	InjectLatency time.Duration
 
 	// online is the adaptation plane, nil until AttachOnline.
 	online *online.Plane
@@ -87,6 +98,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /predict", s.handlePredict)
@@ -313,6 +325,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Models: len(names)})
 }
 
+// Warm force-loads every WarmNames model into its hot-swap pointer,
+// returning the first load error. Call after construction (typically
+// concurrently with serving — /readyz reports warming until every
+// named model is resident, which is the point: a fleet gateway must
+// not route here while cold loads are still paying artifact decodes).
+func (s *Server) Warm() error {
+	for _, name := range s.WarmNames {
+		if _, err := s.Reload(name); err != nil {
+			return fmt.Errorf("warming %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+type readyzResponse struct {
+	Status  string   `json:"status"`
+	Models  int      `json:"models"`
+	Warming []string `json:"warming,omitempty"`
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: ready
+// means the registry is reachable AND every WarmNames model is
+// resident in memory. A replica that is up but still paying cold-start
+// decodes answers 503 here, so a fleet gateway keeps traffic off it
+// until it can serve at full speed.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	names, err := s.reg.Names()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "registry unreachable"})
+		return
+	}
+	var warming []string
+	for _, name := range s.WarmNames {
+		if m := s.latestPtr(name).Load(); m == nil {
+			warming = append(warming, name)
+		}
+	}
+	if len(warming) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{
+			Status: "warming", Models: len(names), Warming: warming,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", Models: len(names)})
+}
+
 type modelsResponse struct {
 	Models []registry.Meta `json:"models"`
 }
@@ -379,6 +437,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer release()
+	}
+	if s.InjectLatency > 0 {
+		select {
+		case <-time.After(s.InjectLatency):
+		case <-r.Context().Done():
+			fail(fmt.Errorf("serve: %w: %w", lamerr.ErrCancelled, r.Context().Err()))
+			return
+		}
 	}
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))

@@ -233,6 +233,66 @@ func TestHealthzAndModels(t *testing.T) {
 	}
 }
 
+// TestReadyz covers the readiness lifecycle: a replica with pending
+// warm names answers 503 "warming" (while /healthz already says ok),
+// and flips to 200 "ready" once Warm has loaded them.
+func TestReadyz(t *testing.T) {
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := &ml.Pipeline{Model: ml.NewExtraTrees(5, 7)}
+	if err := et.Fit([][]float64{{1, 2}, {3, 4}, {5, 6}}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveRegressor(et, registry.Meta{Name: "warm-me"}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg)
+	s.WarmNames = []string{"warm-me"}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	getReadyz := func() (int, readyzResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var r readyzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, r
+	}
+
+	code, r := getReadyz()
+	if code != http.StatusServiceUnavailable || r.Status != "warming" {
+		t.Fatalf("cold readyz: %d %+v, want 503 warming", code, r)
+	}
+	if len(r.Warming) != 1 || r.Warming[0] != "warm-me" {
+		t.Fatalf("cold readyz warming list: %+v", r.Warming)
+	}
+	// Liveness is already fine while readiness is not.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during warming: %d, want 200", hz.StatusCode)
+	}
+
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	code, r = getReadyz()
+	if code != http.StatusOK || r.Status != "ready" || r.Models != 1 {
+		t.Fatalf("warm readyz: %d %+v, want 200 ready", code, r)
+	}
+}
+
 // TestCacheEviction republishes a model several times and checks the
 // server retains at most keepVersionsPerName deserialized versions.
 func TestCacheEviction(t *testing.T) {

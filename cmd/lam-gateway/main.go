@@ -8,7 +8,11 @@
 //	            [-addr :8080] [-route consistent|random] \
 //	            [-attempts 2] [-bound-factor 1.25] \
 //	            [-probe-interval 500ms] [-probe-timeout 2s] \
-//	            [-eject-after 3] [-readmit-after 2]
+//	            [-eject-after 3] [-readmit-after 2] \
+//	            [-pprof localhost:6061]
+//
+// -pprof exposes net/http/pprof on a separate listener (kept off the
+// proxy address) for profiling the gateway itself under load.
 //
 // Routing: POST /predict and /observe are routed by consistent hashing
 // on the model name — each model has a primary replica and a
@@ -48,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux the -pprof listener serves
 	"os"
 	"os/signal"
 	"strings"
@@ -69,7 +74,17 @@ func main() {
 	readmitAfter := flag.Int("readmit-after", 2, "consecutive probe successes that re-admit an ejected backend")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	seed := flag.Int64("seed", 1, "random-route mode: PRNG seed")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func(addr string) {
+			fmt.Fprintf(os.Stderr, "lam-gateway: pprof on http://%s/debug/pprof/\n", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lam-gateway: pprof: %v\n", err)
+			}
+		}(*pprofAddr)
+	}
 
 	if *backends == "" {
 		fatal(fmt.Errorf("-backends is required"))

@@ -9,6 +9,7 @@
 //	         [-max-batch 32] [-max-delay 1ms]
 //	         [-max-inflight 0] [-queue 64]
 //	         [-warm name1,name2] [-inject-latency 0]
+//	         [-layout implicit-left] [-pprof localhost:6060]
 //	         [-online] [-window 512] [-drift-threshold 1.5]
 //	         [-min-samples 64] [-holdout 0.25]
 //
@@ -16,8 +17,12 @@
 // single-row /predict requests into one compiled-plane batch (bit
 // identical to unbatched scoring; <= 1 disables); -max-inflight/-queue
 // bound concurrency and shed overload with 429 + Retry-After (0
-// disables admission control). See the README's "Capacity planning &
-// tuning" section and cmd/lam-loadgen for measuring the effect.
+// disables admission control); -layout picks the tree-traversal layout
+// applied to every loaded model (exact layouts are bit-identical,
+// quantized ones trade bounded accuracy for a ~4x smaller table);
+// -pprof exposes net/http/pprof on a separate listener for CPU/heap
+// profiling under load. See the README's "Capacity planning & tuning"
+// section and cmd/lam-loadgen for measuring the effect.
 //
 // Endpoints:
 //
@@ -54,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux the -pprof listener serves
 	"os"
 	"os/signal"
 	"strings"
@@ -65,6 +71,17 @@ import (
 	"lam/internal/serve"
 )
 
+// servePprof exposes the runtime profiler on its own listener, kept off
+// the API address so profiling endpoints are never internet-facing by
+// accident. The prediction mux is a dedicated ServeMux, so the pprof
+// handlers registered on the DefaultServeMux are reachable only here.
+func servePprof(addr string) {
+	fmt.Fprintf(os.Stderr, "lam-serve: pprof on http://%s/debug/pprof/\n", addr)
+	if err := http.ListenAndServe(addr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "lam-serve: pprof: %v\n", err)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	regDir := flag.String("registry", "", "model registry directory (required; see lam-predict -registry)")
@@ -75,6 +92,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently served /predict requests (0 disables admission control)")
 	queueLen := flag.Int("queue", 64, "requests allowed to wait for an in-flight slot beyond -max-inflight; a full queue sheds with 429")
 	warm := flag.String("warm", "", "comma-separated model names to preload; GET /readyz reports 503 until all are resident (fleet readiness gate)")
+	layoutFlag := flag.String("layout", "", "traversal layout applied to every loaded model: default, implicit-left (branchless), standard, level-order, quant16, quant8 (quantized layouts are approximate; see README)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	injectLatency := flag.Duration("inject-latency", 0, "fault injection: sleep this long inside every /predict while holding its admission slot (fleet/capacity testing only; 0 = off)")
 	onlineOn := flag.Bool("online", false, "enable the online adaptation plane (/observe ingest, drift detection, background retrain, hot swap)")
 	window := flag.Int("window", 512, "online: per-model observation window size")
@@ -105,8 +124,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, ")")
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
 	s := serve.New(reg)
 	s.Workers = *workers
+	if *layoutFlag != "" {
+		layout, err := lam.ParseLayout(*layoutFlag)
+		if err != nil {
+			fatal(err)
+		}
+		s.Layout = layout
+		fmt.Fprintf(os.Stderr, "lam-serve: traversal layout %s\n", layout)
+	}
 	s.Coalesce = serve.CoalesceConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
 	s.Admit = serve.AdmitConfig{MaxInflight: *maxInflight, Queue: *queueLen}
 	if s.Coalesce.MaxBatch > 1 {

@@ -139,6 +139,14 @@ type Info struct {
 	// estimators).
 	Trees int `json:"trees"`
 	Nodes int `json:"nodes"`
+	// NodeLayout is the on-disk node encoding: "implicit-left" for
+	// lamb1 version-2 payloads (tree bodies drop the left-child array),
+	// "explicit-children" for version-1 and jsonv1 artifacts. Empty for
+	// non-tree estimators.
+	NodeLayout string `json:"node_layout,omitempty"`
+	// Quant is the quantization mode ("quant16" / "quant8") when the
+	// payload is a quantized node table, empty for exact models.
+	Quant string `json:"quant,omitempty"`
 	// SizeBytes is the artifact's total encoded size.
 	SizeBytes int `json:"size_bytes"`
 	// CRC32 is the lamb1 trailer checksum (Castagnoli), zero for
@@ -165,10 +173,17 @@ func Inspect(data []byte, opts DecodeOptions) (Info, *Payload, error) {
 		Estimator: stats.Kind,
 		Trees:     stats.Trees,
 		Nodes:     stats.Nodes,
+		Quant:     stats.Quant,
 		SizeBytes: len(data),
+	}
+	if stats.Trees > 0 {
+		info.NodeLayout = "explicit-children"
 	}
 	if c.Name() == FormatLAMB1 {
 		info.CRC32 = lamb1TrailerCRC(data)
+		if stats.Trees > 0 && lamb1FormatVersion(data) >= 2 {
+			info.NodeLayout = "implicit-left"
+		}
 	}
 	return info, p, nil
 }

@@ -18,7 +18,7 @@ import (
 // File layout (all integers little-endian):
 //
 //	offset  0  magic   [8]byte  "LAMB1\r\n\x00"
-//	offset  8  u32     format version (1)
+//	offset  8  u32     format version (1 or 2)
 //	offset 12  u32     payload kind (1 = regressor, 2 = hybrid)
 //	offset 16  u64     payload length in bytes
 //	offset 24  []byte  payload (internal/ml + internal/hybrid binary
@@ -33,9 +33,16 @@ import (
 var lamb1Magic = [8]byte{'L', 'A', 'M', 'B', '1', '\r', '\n', 0}
 
 const (
-	lamb1Version    = 1
-	lamb1HeaderLen  = 24
-	lamb1TrailerLen = 4
+	// lamb1Version1 payloads carry explicit left-child arrays in every
+	// tree body; lamb1Version2 drops them (the canonical layout makes
+	// left implicit, shrinking tree bodies 25%) and adds the quantized
+	// model kind. The header version equals the ml binary payload
+	// version, so decode threads it straight down. New artifacts are
+	// written at lamb1VersionLatest; both versions decode forever.
+	lamb1Version1      = 1
+	lamb1VersionLatest = ml.BinaryVersionLatest
+	lamb1HeaderLen     = 24
+	lamb1TrailerLen    = 4
 
 	lamb1KindRegressor uint32 = 1
 	lamb1KindHybrid    uint32 = 2
@@ -70,7 +77,7 @@ func (lamb1Codec) Encode(w io.Writer, p *Payload) error {
 	if err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(buf[8:12], lamb1Version)
+	binary.LittleEndian.PutUint32(buf[8:12], lamb1VersionLatest)
 	binary.LittleEndian.PutUint32(buf[12:16], kind)
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(buf)-lamb1HeaderLen))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
@@ -89,8 +96,10 @@ func (lamb1Codec) Decode(data []byte, opts DecodeOptions) (*Payload, error) {
 	if !bytes.Equal(data[:8], lamb1Magic[:]) {
 		return nil, corrupt1("bad magic %q", data[:8])
 	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != lamb1Version {
-		return nil, corrupt1("unsupported format version %d (this build reads %d)", v, lamb1Version)
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != lamb1Version1 && version != lamb1VersionLatest {
+		return nil, corrupt1("unsupported format version %d (this build reads %d and %d)",
+			version, lamb1Version1, lamb1VersionLatest)
 	}
 	kind := binary.LittleEndian.Uint32(data[12:16])
 	payloadLen := binary.LittleEndian.Uint64(data[16:24])
@@ -118,7 +127,7 @@ func (lamb1Codec) Decode(data []byte, opts DecodeOptions) (*Payload, error) {
 	}
 	switch kind {
 	case lamb1KindRegressor:
-		reg, err := ml.DecodeBinary(payload)
+		reg, err := ml.DecodeBinaryVersion(payload, int(version))
 		if err != nil {
 			return nil, fmt.Errorf("artifact: lamb1: %w", err)
 		}
@@ -127,7 +136,7 @@ func (lamb1Codec) Decode(data []byte, opts DecodeOptions) (*Payload, error) {
 		if opts.Analytical == nil {
 			return nil, fmt.Errorf("artifact: decoding a hybrid payload requires the analytical model")
 		}
-		hy, err := hybrid.DecodeBinary(payload, opts.Analytical)
+		hy, err := hybrid.DecodeBinaryVersion(payload, opts.Analytical, int(version))
 		if err != nil {
 			return nil, fmt.Errorf("artifact: lamb1: %w", err)
 		}
@@ -143,6 +152,12 @@ func (lamb1Codec) Sniff(prefix []byte) bool {
 // len(data) covers header+trailer.
 func lamb1TrailerCRC(data []byte) uint32 {
 	return binary.LittleEndian.Uint32(data[len(data)-lamb1TrailerLen:])
+}
+
+// lamb1FormatVersion reads the header version of an already-decoded
+// artifact (callers guarantee the header is present and valid).
+func lamb1FormatVersion(data []byte) uint32 {
+	return binary.LittleEndian.Uint32(data[8:12])
 }
 
 // alignedPayload returns the payload bytes at 8-byte base alignment so

@@ -48,6 +48,14 @@ func AppendBinary(buf []byte, m *Model) ([]byte, error) {
 // Corruption (short header, trailing bytes, a mangled ML section) wraps
 // lamerr.ErrCorruptArtifact.
 func DecodeBinary(data []byte, am AnalyticalModel) (*Model, error) {
+	return DecodeBinaryVersion(data, am, ml.BinaryVersionLatest)
+}
+
+// DecodeBinaryVersion is DecodeBinary for an explicit ML payload
+// version — the artifact layer passes the lamb1 header version down so
+// version-1 artifacts (whose tree bodies still carry explicit left
+// arrays) keep decoding forever.
+func DecodeBinaryVersion(data []byte, am AnalyticalModel, version int) (*Model, error) {
 	if am == nil {
 		return nil, fmt.Errorf("hybrid: DecodeBinary requires the analytical model")
 	}
@@ -62,7 +70,7 @@ func DecodeBinary(data []byte, am AnalyticalModel) (*Model, error) {
 	if nFeatures <= 0 {
 		return nil, fmt.Errorf("hybrid: %w: %d features", lamerr.ErrCorruptArtifact, nFeatures)
 	}
-	mlModel, consumed, err := ml.DecodeBinaryPrefix(data[32:])
+	mlModel, consumed, err := ml.DecodeBinaryPrefixVersion(data[32:], version)
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: loading ML component: %w", err)
 	}

@@ -50,6 +50,21 @@ const (
 	binKindPipeline uint64 = 6
 	binKindBagging  uint64 = 7
 	binKindStacking uint64 = 8
+	// binKindQuant is a quantized node table (QuantizedModel) —
+	// payload version 2 only; version-1 decoders reject it as an
+	// unknown kind, which is the intended forward-compat behaviour.
+	binKindQuant uint64 = 9
+)
+
+// Payload versions (the artifact layer's lamb1 header carries the
+// version and passes it down here). Version 1 tree bodies store an
+// explicit left-child array; version 2 drops it — the runtime layout
+// is canonical implicit-left preorder (left == i+1), so the column is
+// pure redundancy — and adds the quantized model kind. Encoding always
+// writes the current version; decoding accepts both.
+const (
+	BinaryVersion1      = 1
+	BinaryVersionLatest = 2
 )
 
 // nativeLittleEndian reports whether the host stores multi-byte words
@@ -98,6 +113,64 @@ func appendI32s(buf []byte, v []int32) []byte {
 	return buf
 }
 
+// pad8 returns the zero-byte padding that realigns a section after an
+// array of elems elements of size bytes each. Sections are kept
+// 8-byte-multiples so the zero-copy slice casts stay naturally aligned
+// (see the layout discipline above); padding is derived from the
+// element count, never from buffer offsets, so nested encodings cannot
+// skew it.
+func pad8(elems, size int) int { return (8 - elems*size%8) % 8 }
+
+var zeroPad [8]byte
+
+func appendPad8(buf []byte, elems, size int) []byte {
+	return append(buf, zeroPad[:pad8(elems, size)]...)
+}
+
+func appendU16s(buf []byte, v []uint16) []byte {
+	if len(v) > 0 {
+		if nativeLittleEndian {
+			buf = append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*2)...)
+		} else {
+			for _, x := range v {
+				buf = binary.LittleEndian.AppendUint16(buf, x)
+			}
+		}
+	}
+	return appendPad8(buf, len(v), 2)
+}
+
+func appendI16s(buf []byte, v []int16) []byte {
+	if len(v) > 0 {
+		if nativeLittleEndian {
+			buf = append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*2)...)
+		} else {
+			for _, x := range v {
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(x))
+			}
+		}
+	}
+	return appendPad8(buf, len(v), 2)
+}
+
+func appendU8s(buf []byte, v []uint8) []byte {
+	buf = append(buf, v...)
+	return appendPad8(buf, len(v), 1)
+}
+
+func appendF32s(buf []byte, v []float32) []byte {
+	if len(v) > 0 {
+		if nativeLittleEndian {
+			buf = append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)...)
+		} else {
+			for _, x := range v {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+			}
+		}
+	}
+	return appendPad8(buf, len(v), 4)
+}
+
 func boolI64(b bool) int64 {
 	if b {
 		return 1
@@ -117,7 +190,12 @@ func appendTreeConfig(buf []byte, cfg TreeConfig) []byte {
 // appendTreeBody writes one fitted tree (config, importances and the
 // compiled node table) without a kind tag — forests and boosters embed
 // member trees directly since their members are trees by construction.
-func appendTreeBody(buf []byte, t *DecisionTree) []byte {
+// Version-2 bodies carry three int32 arrays per tree (feature, right,
+// nSamples — the left column is implicit in the canonical layout), so
+// an odd node count needs 4 bytes of padding to keep the following
+// float64 arrays 8-byte aligned; version-1 bodies carry four arrays
+// (an explicit left-child column) and never needed it.
+func appendTreeBody(buf []byte, t *DecisionTree, v1 bool) []byte {
 	c := &t.nodes
 	buf = appendU64(buf, uint64(c.Len()))
 	buf = appendU64(buf, uint64(t.nFeatures))
@@ -125,9 +203,14 @@ func appendTreeBody(buf []byte, t *DecisionTree) []byte {
 	buf = appendTreeConfig(buf, t.Config)
 	buf = appendF64s(buf, t.importances)
 	buf = appendI32s(buf, c.feature)
-	buf = appendI32s(buf, c.left)
+	if v1 {
+		buf = appendI32s(buf, materializeLeft(c))
+	}
 	buf = appendI32s(buf, c.right)
 	buf = appendI32s(buf, c.nSamples)
+	if !v1 {
+		buf = appendPad8(buf, 3*c.Len(), 4)
+	}
 	buf = appendF64s(buf, c.threshold)
 	return appendF64s(buf, c.value)
 }
@@ -137,12 +220,30 @@ func appendTreeBody(buf []byte, t *DecisionTree) []byte {
 // requirements match SaveModel exactly; the two encodings are
 // interconvertible without loss.
 func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
+	return AppendBinaryVersion(buf, m, BinaryVersionLatest)
+}
+
+// AppendBinaryVersion is AppendBinary at an explicit payload version —
+// the legacy writer behind downgrade tooling and the version-1
+// compatibility tests. Version-1 payloads cannot represent quantized
+// models (the kind tag does not exist there).
+func AppendBinaryVersion(buf []byte, m Regressor, version int) ([]byte, error) {
+	switch version {
+	case BinaryVersion1, BinaryVersionLatest:
+	default:
+		return nil, fmt.Errorf("ml: unsupported binary payload version %d (have %d and %d)",
+			version, BinaryVersion1, BinaryVersionLatest)
+	}
+	return appendBinaryVersion(buf, m, version == BinaryVersion1)
+}
+
+func appendBinaryVersion(buf []byte, m Regressor, v1 bool) ([]byte, error) {
 	switch v := m.(type) {
 	case *DecisionTree:
 		if !v.IsFitted() {
 			return nil, fmt.Errorf("ml: cannot save unfitted DecisionTree")
 		}
-		return appendTreeBody(appendU64(buf, binKindTree), v), nil
+		return appendTreeBody(appendU64(buf, binKindTree), v, v1), nil
 	case *Forest:
 		if len(v.trees) == 0 {
 			return nil, fmt.Errorf("ml: cannot save unfitted Forest")
@@ -155,7 +256,7 @@ func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
 		buf = appendTreeConfig(buf, v.Tree)
 		buf = appendU64(buf, uint64(len(v.trees)))
 		for _, t := range v.trees {
-			buf = appendTreeBody(buf, t)
+			buf = appendTreeBody(buf, t, v1)
 		}
 		return buf, nil
 	case *LinearRegression:
@@ -190,7 +291,7 @@ func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
 		buf = appendF64(buf, v.rate)
 		buf = appendU64(buf, uint64(len(v.stages)))
 		for _, t := range v.stages {
-			buf = appendTreeBody(buf, t)
+			buf = appendTreeBody(buf, t, v1)
 		}
 		return buf, nil
 	case *Pipeline:
@@ -201,7 +302,7 @@ func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
 		buf = appendU64(buf, uint64(len(v.scaler.mean)))
 		buf = appendF64s(buf, v.scaler.mean)
 		buf = appendF64s(buf, v.scaler.std)
-		return AppendBinary(buf, v.Model)
+		return appendBinaryVersion(buf, v.Model, v1)
 	case *Bagging:
 		if len(v.models) == 0 {
 			return nil, fmt.Errorf("ml: cannot save unfitted Bagging")
@@ -213,7 +314,7 @@ func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
 		buf = appendU64(buf, uint64(len(v.models)))
 		var err error
 		for _, m := range v.models {
-			if buf, err = AppendBinary(buf, m); err != nil {
+			if buf, err = appendBinaryVersion(buf, m, v1); err != nil {
 				return nil, err
 			}
 		}
@@ -229,11 +330,39 @@ func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
 		buf = appendU64(buf, uint64(len(v.bases)))
 		var err error
 		for _, b := range v.bases {
-			if buf, err = AppendBinary(buf, b); err != nil {
+			if buf, err = appendBinaryVersion(buf, b, v1); err != nil {
 				return nil, err
 			}
 		}
-		return AppendBinary(buf, v.meta)
+		return appendBinaryVersion(buf, v.meta, v1)
+	case *QuantizedModel:
+		if v1 {
+			return nil, fmt.Errorf("ml: version-1 binary payloads cannot represent a quantized model")
+		}
+		q := v.q
+		buf = appendU64(buf, binKindQuant)
+		buf = appendU64(buf, uint64(q.bits))
+		buf = appendU64(buf, uint64(q.combine))
+		buf = appendF64(buf, q.init)
+		buf = appendF64(buf, q.rate)
+		buf = appendU64(buf, uint64(q.nFeatures))
+		buf = appendU64(buf, uint64(len(q.roots)))
+		buf = appendU64(buf, uint64(len(q.feature)))
+		buf = appendU64(buf, uint64(len(q.leafVal)))
+		// roots and leafBase are one int32 each per tree; written
+		// back-to-back they total 8 bytes per tree, keeping alignment.
+		buf = appendI32s(buf, q.roots)
+		buf = appendI32s(buf, q.leafBase)
+		buf = appendF64s(buf, q.lo)
+		buf = appendF64s(buf, q.scale)
+		buf = appendI16s(buf, q.feature)
+		buf = appendU16s(buf, q.next)
+		if q.bits == 8 {
+			buf = appendU8s(buf, q.qthr8)
+		} else {
+			buf = appendU16s(buf, q.qthr16)
+		}
+		return appendF32s(buf, q.leafVal), nil
 	default:
 		return nil, fmt.Errorf("ml: binary encoding does not support %T", m)
 	}
@@ -249,6 +378,10 @@ func AppendBinary(buf []byte, m Regressor) ([]byte, error) {
 type binReader struct {
 	data []byte
 	off  int
+	// v1 selects the legacy payload layout: tree bodies carry an
+	// explicit left-child array (and no odd-count padding), and the
+	// quantized kind does not exist.
+	v1 bool
 }
 
 func (r *binReader) remaining() int { return len(r.data) - r.off }
@@ -330,6 +463,75 @@ func (r *binReader) i32s(n int) ([]int32, error) {
 	return out, nil
 }
 
+func (r *binReader) skipPad(elems, size int) error {
+	_, err := r.bytes(pad8(elems, size))
+	return err
+}
+
+func (r *binReader) u16s(n int) ([]uint16, error) {
+	if n == 0 {
+		return nil, r.skipPad(n, 2)
+	}
+	b, err := r.bytes(n * 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.skipPad(n, 2); err != nil {
+		return nil, err
+	}
+	if nativeLittleEndian && uintptr(unsafe.Pointer(&b[0]))%2 == 0 {
+		return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[i*2:])
+	}
+	return out, nil
+}
+
+func (r *binReader) i16s(n int) ([]int16, error) {
+	u, err := r.u16s(n)
+	if err != nil || u == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*int16)(unsafe.Pointer(&u[0])), n), nil
+}
+
+func (r *binReader) u8s(n int) ([]uint8, error) {
+	if n == 0 {
+		return nil, r.skipPad(n, 1)
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.skipPad(n, 1); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (r *binReader) f32s(n int) ([]float32, error) {
+	if n == 0 {
+		return nil, r.skipPad(n, 4)
+	}
+	b, err := r.bytes(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.skipPad(n, 4); err != nil {
+		return nil, err
+	}
+	if nativeLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
 func (r *binReader) treeConfig() (TreeConfig, error) {
 	var cfg TreeConfig
 	vals := make([]int64, 6)
@@ -371,11 +573,16 @@ func (r *binReader) treeBody() (*DecisionTree, error) {
 		return nil, err
 	}
 	var c CompiledTree
+	var left []int32
 	if c.feature, err = r.i32s(nNodes); err != nil {
 		return nil, err
 	}
-	if c.left, err = r.i32s(nNodes); err != nil {
-		return nil, err
+	if r.v1 {
+		// Legacy layout: explicit left column, four int32 arrays (a
+		// multiple of 8 bytes for any node count, so no padding).
+		if left, err = r.i32s(nNodes); err != nil {
+			return nil, err
+		}
 	}
 	if c.right, err = r.i32s(nNodes); err != nil {
 		return nil, err
@@ -383,23 +590,49 @@ func (r *binReader) treeBody() (*DecisionTree, error) {
 	if c.nSamples, err = r.i32s(nNodes); err != nil {
 		return nil, err
 	}
+	if !r.v1 {
+		if err := r.skipPad(3*nNodes, 4); err != nil {
+			return nil, err
+		}
+	}
 	if c.threshold, err = r.f64s(nNodes); err != nil {
 		return nil, err
 	}
 	if c.value, err = r.f64s(nNodes); err != nil {
 		return nil, err
 	}
-	if err := c.validate(); err != nil {
+	if r.v1 {
+		// Fold the explicit children back into canonical implicit-left
+		// form. Every table this codebase ever wrote is already
+		// canonical, so this validates and adopts the zero-copy arrays
+		// without moving a node; foreign-but-valid orders are permuted
+		// (prediction-bit-identical).
+		if c, err = canonicalTree(c.feature, c.threshold, c.value, left, c.right, c.nSamples); err != nil {
+			return nil, corruptf("%v", err)
+		}
+	} else if err := c.validate(); err != nil {
 		return nil, corruptf("%v", err)
 	}
 	return &DecisionTree{Config: cfg, nodes: c, nFeatures: int(nFeat), importances: imp}, nil
 }
 
-// DecodeBinary restores a regressor encoded by AppendBinary, consuming
-// the whole input. Trailing bytes are treated as corruption — the
-// artifact layer frames payloads with an exact length.
+// DecodeBinary restores a current-version regressor payload encoded by
+// AppendBinary, consuming the whole input. Trailing bytes are treated
+// as corruption — the artifact layer frames payloads with an exact
+// length.
 func DecodeBinary(data []byte) (Regressor, error) {
-	r := &binReader{data: data}
+	return DecodeBinaryVersion(data, BinaryVersionLatest)
+}
+
+// DecodeBinaryVersion is DecodeBinary for an explicit payload version
+// (the artifact layer reads the version from the lamb1 header and
+// passes it down, so files written before the implicit-left layout
+// keep decoding forever).
+func DecodeBinaryVersion(data []byte, version int) (Regressor, error) {
+	r, err := newBinReader(data, version)
+	if err != nil {
+		return nil, err
+	}
 	m, err := decodeModelBinary(r)
 	if err != nil {
 		return nil, err
@@ -410,16 +643,36 @@ func DecodeBinary(data []byte) (Regressor, error) {
 	return m, nil
 }
 
-// DecodeBinaryPrefix restores a regressor from the front of data and
-// reports how many bytes it consumed — the hook nested encodings (the
-// hybrid model's ML component) decode through.
+// DecodeBinaryPrefix restores a current-version regressor from the
+// front of data and reports how many bytes it consumed — the hook
+// nested encodings (the hybrid model's ML component) decode through.
 func DecodeBinaryPrefix(data []byte) (Regressor, int, error) {
-	r := &binReader{data: data}
+	return DecodeBinaryPrefixVersion(data, BinaryVersionLatest)
+}
+
+// DecodeBinaryPrefixVersion is DecodeBinaryPrefix for an explicit
+// payload version.
+func DecodeBinaryPrefixVersion(data []byte, version int) (Regressor, int, error) {
+	r, err := newBinReader(data, version)
+	if err != nil {
+		return nil, 0, err
+	}
 	m, err := decodeModelBinary(r)
 	if err != nil {
 		return nil, 0, err
 	}
 	return m, r.off, nil
+}
+
+func newBinReader(data []byte, version int) (*binReader, error) {
+	switch version {
+	case BinaryVersion1:
+		return &binReader{data: data, v1: true}, nil
+	case BinaryVersionLatest:
+		return &binReader{data: data}, nil
+	default:
+		return nil, corruptf("unsupported binary payload version %d", version)
+	}
 }
 
 func decodeModelBinary(r *binReader) (Regressor, error) {
@@ -641,6 +894,84 @@ func decodeModelBinary(r *binReader) (Regressor, error) {
 		}
 		s.meta = meta
 		return s, nil
+	case binKindQuant:
+		if r.v1 {
+			return nil, corruptf("quantized model kind in a version-1 payload")
+		}
+		bits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if bits != 8 && bits != 16 {
+			return nil, corruptf("quantized model with %d-bit thresholds", bits)
+		}
+		combine, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if combine != uint64(combineMean) && combine != uint64(combineBoosted) {
+			return nil, corruptf("quantized model with unknown combine mode %d", combine)
+		}
+		init, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		rate, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		nFeat, err := r.count(16)
+		if err != nil {
+			return nil, err
+		}
+		nTrees, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		nNodes, err := r.count(4)
+		if err != nil {
+			return nil, err
+		}
+		nLeaf, err := r.count(4)
+		if err != nil {
+			return nil, err
+		}
+		q := &quantEnsemble{bits: int(bits), combine: ensembleCombine(combine),
+			init: init, rate: rate, nFeatures: nFeat}
+		if q.roots, err = r.i32s(nTrees); err != nil {
+			return nil, err
+		}
+		if q.leafBase, err = r.i32s(nTrees); err != nil {
+			return nil, err
+		}
+		if q.lo, err = r.f64s(nFeat); err != nil {
+			return nil, err
+		}
+		if q.scale, err = r.f64s(nFeat); err != nil {
+			return nil, err
+		}
+		if q.feature, err = r.i16s(nNodes); err != nil {
+			return nil, err
+		}
+		if q.next, err = r.u16s(nNodes); err != nil {
+			return nil, err
+		}
+		if bits == 8 {
+			if q.qthr8, err = r.u8s(nNodes); err != nil {
+				return nil, err
+			}
+		} else {
+			if q.qthr16, err = r.u16s(nNodes); err != nil {
+				return nil, err
+			}
+		}
+		if q.leafVal, err = r.f32s(nLeaf); err != nil {
+			return nil, err
+		}
+		if err := q.validate(); err != nil {
+			return nil, corruptf("%v", err)
+		}
+		return &QuantizedModel{q: q}, nil
 	default:
 		return nil, corruptf("unknown binary model kind %d", kind)
 	}
@@ -649,11 +980,13 @@ func decodeModelBinary(r *binReader) (Regressor, error) {
 // ModelStats summarises a fitted model's structure for artifact
 // introspection (lam-model info): a human-readable kind, the member
 // tree count and the total flat-table node count (both zero for
-// non-tree estimators).
+// non-tree estimators), and the quantization mode ("quant16"/"quant8",
+// empty for exact models) of any quantized table in the model.
 type ModelStats struct {
 	Kind  string
 	Trees int
 	Nodes int
+	Quant string
 }
 
 // StatsOf computes ModelStats by structural walk; composite estimators
@@ -680,13 +1013,16 @@ func StatsOf(m Regressor) ModelStats {
 		return ModelStats{Kind: "knn"}
 	case *Pipeline:
 		inner := StatsOf(v.Model)
-		return ModelStats{Kind: "pipeline(" + inner.Kind + ")", Trees: inner.Trees, Nodes: inner.Nodes}
+		return ModelStats{Kind: "pipeline(" + inner.Kind + ")", Trees: inner.Trees, Nodes: inner.Nodes, Quant: inner.Quant}
 	case *Bagging:
 		s := ModelStats{Kind: "bagging"}
 		for _, m := range v.models {
 			ms := StatsOf(m)
 			s.Trees += ms.Trees
 			s.Nodes += ms.Nodes
+			if s.Quant == "" {
+				s.Quant = ms.Quant
+			}
 		}
 		return s
 	case *Stacking:
@@ -695,13 +1031,25 @@ func StatsOf(m Regressor) ModelStats {
 			bs := StatsOf(b)
 			s.Trees += bs.Trees
 			s.Nodes += bs.Nodes
+			if s.Quant == "" {
+				s.Quant = bs.Quant
+			}
 		}
 		if v.meta != nil {
 			ms := StatsOf(v.meta)
 			s.Trees += ms.Trees
 			s.Nodes += ms.Nodes
+			if s.Quant == "" {
+				s.Quant = ms.Quant
+			}
 		}
 		return s
+	case *QuantizedModel:
+		quant := "quant16"
+		if v.q.bits == 8 {
+			quant = "quant8"
+		}
+		return ModelStats{Kind: quant, Trees: v.q.NumTrees(), Nodes: v.q.NumNodes(), Quant: quant}
 	default:
 		return ModelStats{Kind: fmt.Sprintf("%T", m)}
 	}

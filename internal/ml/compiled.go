@@ -3,34 +3,52 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"unsafe"
 )
+
+// b2i32 converts a bool to 0/1 without a branch: the comparison's
+// SETcc result is read back as a byte instead of being re-branched on.
+func b2i32(b bool) int32 {
+	return int32(*(*byte)(unsafe.Pointer(&b)))
+}
 
 // The compiled inference plane. Fitted trees are stored as contiguous
 // structure-of-arrays node tables — the same flat form the persistence
 // layer has always serialised — instead of per-node heap objects, and
-// traversal is an iterative index walk instead of pointer chasing. The
-// layout is preorder (a node's left child immediately follows it), so a
-// root-to-leaf walk touches a mostly ascending address sequence and an
-// ensemble's whole node table lives in a handful of cache lines per
-// tree. Every tree-based estimator (DecisionTree, Forest, Bagging over
-// tree bases, GradientBoosting) compiles at Fit/load time; there is no
-// pointer-tree runtime representation left.
+// traversal is an iterative index walk instead of pointer chasing.
 //
-// Predictions are bit-identical to the recursive form: the node
+// The node order is *canonical preorder*: a node's left child is always
+// the next node (left == i+1), so the left-child array does not exist
+// at runtime — only the right-child indices are stored. A root-to-leaf
+// walk touches a mostly ascending address sequence, needs one fewer
+// cache line per level than the explicit two-child form, and the
+// descent itself compiles to a conditional move instead of a branch
+// (see predictFrom), so the CPU never mispredicts data-dependent
+// splits. Every tree-based estimator (DecisionTree, Forest, Bagging
+// over tree bases, GradientBoosting) compiles at Fit/load time; there
+// is no pointer-tree runtime representation left.
+//
+// Alternative traversal layouts (the PR 3 explicit-child walk kept as a
+// benchmark baseline, a depth-bucketed level-order batch layout, and
+// quantized node tables) are derived from this canonical form — see
+// layout.go, levelorder.go and quant.go.
+//
+// Exact layouts are bit-identical to the recursive form: the node
 // ordering, thresholds and comparison directions are unchanged, only
 // the storage differs (asserted exhaustively by TestCompiledEquivalence
-// in compiled_test.go).
+// in compiled_test.go). Quantized layouts are approximate and opt-in.
 
-// CompiledTree is one regression tree flattened onto parallel arrays.
-// Leaves have feature[i] < 0; internal nodes satisfy left[i] > i and
-// right[i] > i (preorder), which both guarantees traversal terminates
-// and keeps walks cache-friendly. The zero value is an empty (unfitted)
+// CompiledTree is one regression tree flattened onto parallel arrays in
+// canonical preorder. Leaves have feature[i] < 0; internal nodes keep
+// their left child at i+1 (implicit, not stored) and their right child
+// at right[i] > i+1. This both guarantees traversal terminates and
+// keeps walks cache-friendly. The zero value is an empty (unfitted)
 // tree.
 type CompiledTree struct {
 	feature   []int32
 	threshold []float64
 	value     []float64
-	left      []int32
 	right     []int32
 	// nSamples is the training-sample count per node — diagnostic
 	// state carried for the persistence round trip, never read on the
@@ -47,17 +65,22 @@ func (c *CompiledTree) grow(value float64, n int) int32 {
 	c.feature = append(c.feature, -1)
 	c.threshold = append(c.threshold, 0)
 	c.value = append(c.value, value)
-	c.left = append(c.left, -1)
 	c.right = append(c.right, -1)
 	c.nSamples = append(c.nSamples, int32(n))
 	return idx
 }
 
-// split turns the leaf at idx into an internal node.
+// split turns the leaf at idx into an internal node. The builder grows
+// the left subtree immediately after idx (preorder), so left must be
+// idx+1 — the canonical-layout invariant the whole plane rests on; it
+// is asserted here so a future builder change cannot silently corrupt
+// traversal.
 func (c *CompiledTree) split(idx int32, feature int, threshold float64, left, right int32) {
+	if left != idx+1 {
+		panic(fmt.Sprintf("ml: tree builder broke the preorder invariant: node %d has left child %d, want %d", idx, left, idx+1))
+	}
 	c.feature[idx] = int32(feature)
 	c.threshold[idx] = threshold
-	c.left[idx] = left
 	c.right[idx] = right
 }
 
@@ -68,21 +91,72 @@ func (c *CompiledTree) Predict(x []float64) float64 { return c.predictFrom(0, x)
 
 // predictFrom walks one tree of a (possibly concatenated) node table
 // starting at root. The slice headers are hoisted into locals so the
-// loop reloads nothing through the receiver.
+// loop reloads nothing through the receiver, and the descent is
+// branchless: the left child is implicit at i+1, so the step is a
+// compare and a conditional move, never a data-dependent branch the
+// CPU could mispredict. The comparison direction (x <= threshold goes
+// left, everything else — including NaN — goes right) is exactly the
+// legacy recursive walk's, so exact layouts stay bit-identical.
 func (c *CompiledTree) predictFrom(root int32, x []float64) float64 {
-	feature, threshold := c.feature, c.threshold
-	left, right := c.left, c.right
+	feature, threshold, right := c.feature, c.threshold, c.right
 	i := root
 	for {
 		f := feature[i]
 		if f < 0 {
 			return c.value[i]
 		}
+		next := right[i]
 		if x[f] <= threshold[i] {
-			i = left[i]
-		} else {
-			i = right[i]
+			next = i + 1
 		}
+		i = next
+	}
+}
+
+// hotNode packs the three fields the branchless descent reads into one
+// 16-byte record, so each visited node costs a single cache line where
+// the SoA walk touches three (feature, threshold and right live in
+// separate arrays). Leaves reuse the threshold slot for the leaf value
+// — the walk never touches the value column at all. Derived from the
+// canonical table for LayoutImplicitLeft (the serving default); the
+// values are verbatim copies, so the walk stays bit-identical.
+type hotNode struct {
+	threshold float64 // leaf value when feature < 0
+	feature   int32
+	right     int32
+}
+
+// buildHotNodes packs a (possibly concatenated) canonical node table.
+func buildHotNodes(c *CompiledTree) []hotNode {
+	hot := make([]hotNode, c.Len())
+	for i, f := range c.feature {
+		if f < 0 {
+			hot[i] = hotNode{threshold: c.value[i], feature: -1}
+		} else {
+			hot[i] = hotNode{threshold: c.threshold[i], feature: f, right: c.right[i]}
+		}
+	}
+	return hot
+}
+
+// predictHot is predictFrom over the packed record array: one cache
+// line per visited node and a fully branchless step. Go's compiler
+// lowers `if cond { next = i+1 }` to a conditional jump (not CMOV) for
+// float-controlled conditions, so the select is done arithmetically:
+// the comparison materialises as a SETcc byte (b2i32), negating it
+// gives an all-ones/all-zero mask, and the mask picks between right
+// and i+1 with no data-dependent control flow for the predictor to
+// miss. NaN features compare false and take the right child, exactly
+// like the recursive walk.
+func predictHot(hot []hotNode, root int32, x []float64) float64 {
+	i := root
+	for {
+		n := hot[i]
+		if n.feature < 0 {
+			return n.threshold
+		}
+		goLeft := -b2i32(x[n.feature] <= n.threshold) // all ones when left
+		i = n.right + ((i + 1 - n.right) & goLeft)
 	}
 }
 
@@ -102,7 +176,7 @@ func (c *CompiledTree) depth() int {
 			continue
 		}
 		d := depths[i] + 1
-		depths[c.left[i]] = d
+		depths[i+1] = d
 		depths[c.right[i]] = d
 		if d > max {
 			max = d
@@ -123,24 +197,26 @@ func (c *CompiledTree) numLeaves() int {
 }
 
 // validate checks the structural invariants a deserialised node table
-// must satisfy: every internal node's children exist and follow it
-// (which rules out cycles), and values are finite indices. It accepts
-// exactly the tables the builder and the persistence layer produce.
+// must satisfy: every internal node's implicit left child (i+1) exists
+// and its right child strictly follows the left subtree's first node
+// (which rules out cycles). It accepts exactly the canonical tables
+// the builder produces; explicit-child inputs from the persistence
+// layer are canonicalised first (see canonicalTree in persist.go).
 func (c *CompiledTree) validate() error {
 	n := len(c.feature)
 	if n == 0 {
 		return fmt.Errorf("ml: corrupt tree: empty node list")
 	}
-	if len(c.threshold) != n || len(c.value) != n || len(c.left) != n || len(c.right) != n {
+	if len(c.threshold) != n || len(c.value) != n || len(c.right) != n {
 		return fmt.Errorf("ml: corrupt tree: ragged node arrays")
 	}
 	for i := 0; i < n; i++ {
 		if c.feature[i] < 0 {
-			continue // leaf; child indices are ignored
+			continue // leaf; the right slot is ignored
 		}
-		l, r := c.left[i], c.right[i]
-		if l <= int32(i) || r <= int32(i) || int(l) >= n || int(r) >= n {
-			return fmt.Errorf("ml: corrupt tree: internal node %d has children (%d, %d) outside (%d, %d)", i, l, r, i, n)
+		r := c.right[i]
+		if r <= int32(i)+1 || int(r) >= n {
+			return fmt.Errorf("ml: corrupt tree: internal node %d has right child %d outside (%d, %d)", i, r, i+1, n)
 		}
 	}
 	return nil
@@ -164,12 +240,36 @@ const (
 // (each tree preorder-contiguous) with per-tree root offsets, so batch
 // scoring streams through one allocation-free memory region instead of
 // hopping between per-tree heaps.
+//
+// The canonical table is the implicit-left branchless layout; SetLayout
+// derives the alternative traversal forms (explicit-child baseline,
+// level-order batch striding, quantized tables) from it. SetLayout is
+// not safe to call concurrently with prediction — apply it right after
+// Fit/load, before the ensemble is shared (the registry/serve layers
+// do exactly that).
 type CompiledEnsemble struct {
 	nodes   CompiledTree
 	roots   []int32
 	combine ensembleCombine
 	// init and rate are the boosting constants (combineBoosted only).
 	init, rate float64
+
+	// layout is the active traversal layout (always resolved, never
+	// LayoutDefault; the zero value acts as LayoutImplicitLeft). The
+	// derived tables below are non-nil only for their layout.
+	layout Layout
+	// hot is the packed 16-byte-per-node walk table for
+	// LayoutImplicitLeft (nil for other layouts and for ad-hoc
+	// ensembles that never had a layout applied, which fall back to
+	// the SoA walk — bit-identical either way).
+	hot []hotNode
+	// stdLeft is the materialised explicit left-child array for
+	// LayoutStandard (the PR 3 baseline walk).
+	stdLeft []int32
+	// lvl is the depth-bucketed level-order table for LayoutLevelOrder.
+	lvl *levelEnsemble
+	// qt is the quantized node table for LayoutQuant16/LayoutQuant8.
+	qt *quantEnsemble
 }
 
 // NumTrees returns the number of member trees.
@@ -186,12 +286,6 @@ func (e *CompiledEnsemble) appendTree(t *CompiledTree) {
 	e.nodes.feature = append(e.nodes.feature, t.feature...)
 	e.nodes.threshold = append(e.nodes.threshold, t.threshold...)
 	e.nodes.value = append(e.nodes.value, t.value...)
-	for _, l := range t.left {
-		if l >= 0 {
-			l += base
-		}
-		e.nodes.left = append(e.nodes.left, l)
-	}
 	for _, r := range t.right {
 		if r >= 0 {
 			r += base
@@ -201,31 +295,48 @@ func (e *CompiledEnsemble) appendTree(t *CompiledTree) {
 }
 
 // compileMeanEnsemble concatenates fitted trees into a mean-combining
-// ensemble (forests, bagged trees).
+// ensemble (forests, bagged trees) and applies the process-default
+// traversal layout.
 func compileMeanEnsemble(trees []*DecisionTree) *CompiledEnsemble {
 	e := &CompiledEnsemble{combine: combineMean}
 	for _, t := range trees {
 		e.appendTree(&t.nodes)
 	}
+	e.applyDefaultLayout()
 	return e
 }
 
 // compileBoostedEnsemble concatenates boosting stages with their
-// shrinkage constants.
+// shrinkage constants and applies the process-default traversal layout.
 func compileBoostedEnsemble(stages []*DecisionTree, init, rate float64) *CompiledEnsemble {
 	e := &CompiledEnsemble{combine: combineBoosted, init: init, rate: rate}
 	for _, t := range stages {
 		e.appendTree(&t.nodes)
 	}
+	e.applyDefaultLayout()
 	return e
 }
 
 // Predict scores one feature vector, folding the member trees in
-// order. Bit-identical to summing the members' individual predictions
-// the way the estimators' recursive implementations did:
-// mean = (t₀+t₁+…)/n, boosted = init + rate·t₀ + rate·t₁ + ….
-// Allocation-free.
+// order. Exact layouts are bit-identical to summing the members'
+// individual predictions the way the estimators' recursive
+// implementations did: mean = (t₀+t₁+…)/n, boosted = init + rate·t₀ +
+// rate·t₁ + …. Quantized layouts approximate within the documented
+// threshold-perturbation bound. Allocation-free.
 func (e *CompiledEnsemble) Predict(x []float64) float64 {
+	switch e.layout {
+	case LayoutQuant16, LayoutQuant8:
+		return e.qt.predict(x)
+	case LayoutStandard:
+		return e.predictStd(x)
+	}
+	// Implicit-left branchless — also serves LayoutLevelOrder: the
+	// level table is a batch-striding layout, single rows walk the
+	// canonical preorder form (bit-identical either way). The packed
+	// hot table is preferred when the layout built one.
+	if e.hot != nil {
+		return e.predictHotInterleaved(x)
+	}
 	switch e.combine {
 	case combineBoosted:
 		out := e.init
@@ -242,9 +353,107 @@ func (e *CompiledEnsemble) Predict(x []float64) float64 {
 	}
 }
 
+// hotLanes is the number of member trees a single-row ensemble walk
+// descends simultaneously. Each walk is a serial chain of dependent
+// loads — on tables past the cache the walker mostly waits on memory —
+// but walks of different trees are independent, so stepping a few in
+// lockstep keeps that many misses in flight. Leaf values are still
+// folded in tree order, so the result is bit-identical to walking the
+// trees one by one.
+const hotLanes = 4
+
+// predictHotInterleaved is the implicit-left single-row ensemble walk
+// over the packed hot table, hotLanes trees at a time.
+func (e *CompiledEnsemble) predictHotInterleaved(x []float64) float64 {
+	hot, roots := e.hot, e.roots
+	var idx [hotLanes]int32
+	var val [hotLanes]float64
+	boosted := e.combine == combineBoosted
+	out := 0.0
+	if boosted {
+		out = e.init
+	}
+	for g := 0; g < len(roots); g += hotLanes {
+		m := len(roots) - g
+		if m > hotLanes {
+			m = hotLanes
+		}
+		for l := 0; l < m; l++ {
+			idx[l] = roots[g+l]
+		}
+		for active := m; active > 0; {
+			active = 0
+			for l := 0; l < m; l++ {
+				i := idx[l]
+				n := hot[i]
+				if n.feature < 0 {
+					val[l] = n.threshold
+					continue
+				}
+				active++
+				goLeft := -b2i32(x[n.feature] <= n.threshold)
+				idx[l] = n.right + ((i + 1 - n.right) & goLeft)
+			}
+		}
+		if boosted {
+			for l := 0; l < m; l++ {
+				out += e.rate * val[l]
+			}
+		} else {
+			for l := 0; l < m; l++ {
+				out += val[l]
+			}
+		}
+	}
+	if !boosted {
+		out /= float64(len(roots))
+	}
+	return out
+}
+
+// predictStd is Predict through the LayoutStandard explicit-child walk
+// (the PR 3 baseline kept for benchmarking and regression guarding).
+func (e *CompiledEnsemble) predictStd(x []float64) float64 {
+	switch e.combine {
+	case combineBoosted:
+		out := e.init
+		for _, r := range e.roots {
+			out += e.rate * e.predictFromStd(r, x)
+		}
+		return out
+	default:
+		s := 0.0
+		for _, r := range e.roots {
+			s += e.predictFromStd(r, x)
+		}
+		return s / float64(len(e.roots))
+	}
+}
+
+// predictFromStd is the explicit two-child branchy descent: exactly the
+// pre-PR 8 hot loop, reading the materialised left array.
+func (e *CompiledEnsemble) predictFromStd(root int32, x []float64) float64 {
+	feature, threshold := e.nodes.feature, e.nodes.threshold
+	left, right := e.stdLeft, e.nodes.right
+	i := root
+	for {
+		f := feature[i]
+		if f < 0 {
+			return e.nodes.value[i]
+		}
+		if x[f] <= threshold[i] {
+			i = left[i]
+		} else {
+			i = right[i]
+		}
+	}
+}
+
 // PredictInto scores one feature vector per member prefix: out[i] is
 // the prediction using trees [0, i] — the staged-prediction primitive.
-// out must have NumTrees elements. Allocation-free.
+// out must have NumTrees elements. Staged prediction is an analysis
+// path, not a serving path, so it always walks the exact canonical
+// table regardless of the active layout. Allocation-free.
 func (e *CompiledEnsemble) PredictInto(x []float64, out []float64) {
 	switch e.combine {
 	case combineBoosted:
@@ -268,27 +477,137 @@ func (e *CompiledEnsemble) PredictInto(x []float64, out []float64) {
 // row-major keeps the accumulator in a register; large forests blow
 // the cache per row, and tree-major keeps one tree's nodes hot across
 // the whole block instead. Either order is bit-identical (see below),
-// so the cutoff is purely a performance knob.
-const batchTreeMajorMinNodes = 4096
+// so the cutoff is purely a performance knob — tunable per host via
+// SetBatchTreeMajorThreshold (the atomic makes runtime retuning safe
+// while serving).
+var batchTreeMajorMinNodes atomic.Int64
+
+const defaultBatchTreeMajorMinNodes = 4096
+
+func init() { batchTreeMajorMinNodes.Store(defaultBatchTreeMajorMinNodes) }
+
+// SetBatchTreeMajorThreshold tunes the node-table size at which batch
+// scoring switches from row-major to tree-major traversal. Values < 1
+// restore the built-in default (4096). Both orders are bit-identical;
+// the threshold is purely a per-host performance knob (benchmark with
+// lam-bench).
+func SetBatchTreeMajorThreshold(n int) {
+	if n < 1 {
+		n = defaultBatchTreeMajorMinNodes
+	}
+	batchTreeMajorMinNodes.Store(int64(n))
+}
+
+// BatchTreeMajorThreshold returns the current row-major/tree-major
+// switchover threshold.
+func BatchTreeMajorThreshold() int { return int(batchTreeMajorMinNodes.Load()) }
 
 // PredictBatchInto scores every row of X into out sequentially with
-// zero allocations; out must have len(X) elements. For large node
-// tables the traversal is tree-major — the outer loop walks trees, the
-// inner loop rows — so one tree's nodes stay cache-hot across the
-// whole block instead of the entire ensemble being re-streamed per
-// row. Each out[i] still accumulates its tree contributions in tree
-// order, so the result is bit-identical to per-row Predict calls.
-// Parallel batch scoring lives in the estimators
-// (Forest.PredictBatchInto and friends), which block-split over this
-// walk.
+// zero steady-state allocations; out must have len(X) elements. For
+// large node tables the traversal is tree-major — the outer loop walks
+// trees, the inner loop rows — so one tree's nodes stay cache-hot
+// across the whole block instead of the entire ensemble being
+// re-streamed per row. Each out[i] still accumulates its tree
+// contributions in tree order, so exact layouts are bit-identical to
+// per-row Predict calls. Parallel batch scoring lives in the
+// estimators (Forest.PredictBatchInto and friends), which block-split
+// over this walk.
 func (e *CompiledEnsemble) PredictBatchInto(X [][]float64, out []float64) {
 	out = out[:len(X)]
-	if e.nodes.Len() < batchTreeMajorMinNodes {
+	switch e.layout {
+	case LayoutQuant16, LayoutQuant8:
+		e.qt.predictBatchInto(X, out)
+		return
+	case LayoutLevelOrder:
+		e.lvl.predictBatchInto(e, X, out)
+		return
+	}
+	if int64(e.nodes.Len()) < batchTreeMajorMinNodes.Load() {
 		for i, x := range X {
 			out[i] = e.Predict(x)
 		}
 		return
 	}
+	if e.layout == LayoutStandard {
+		e.predictBatchTreeMajorStd(X, out)
+		return
+	}
+	hot := e.hot
+	switch e.combine {
+	case combineBoosted:
+		for i := range out {
+			out[i] = e.init
+		}
+		for _, r := range e.roots {
+			if hot != nil {
+				predictHotTreeRows(hot, r, X, out, e.rate)
+			} else {
+				for i, x := range X {
+					out[i] += e.rate * e.nodes.predictFrom(r, x)
+				}
+			}
+		}
+	default:
+		for i := range out {
+			out[i] = 0
+		}
+		for _, r := range e.roots {
+			if hot != nil {
+				predictHotTreeRows(hot, r, X, out, 1)
+			} else {
+				for i, x := range X {
+					out[i] += e.nodes.predictFrom(r, x)
+				}
+			}
+		}
+		n := float64(len(e.roots))
+		for i := range out {
+			out[i] /= n
+		}
+	}
+}
+
+// predictHotTreeRows accumulates one tree's scaled leaf values into out
+// for every row of X, hotLanes rows in lockstep — the batch twin of
+// predictHotInterleaved: within a tree the rows are independent walks,
+// so stepping a few at once keeps their loads in flight. The caller's
+// outer loop still visits trees in order, so each out[i] accumulates
+// tree contributions exactly as the row-major walk would.
+func predictHotTreeRows(hot []hotNode, r int32, X [][]float64, out []float64, scale float64) {
+	var idx [hotLanes]int32
+	var val [hotLanes]float64
+	for g := 0; g < len(X); g += hotLanes {
+		m := len(X) - g
+		if m > hotLanes {
+			m = hotLanes
+		}
+		for l := 0; l < m; l++ {
+			idx[l] = r
+		}
+		for active := m; active > 0; {
+			active = 0
+			for l := 0; l < m; l++ {
+				i := idx[l]
+				n := hot[i]
+				if n.feature < 0 {
+					val[l] = n.threshold
+					continue
+				}
+				active++
+				x := X[g+l]
+				goLeft := -b2i32(x[n.feature] <= n.threshold)
+				idx[l] = n.right + ((i + 1 - n.right) & goLeft)
+			}
+		}
+		for l := 0; l < m; l++ {
+			out[g+l] += scale * val[l]
+		}
+	}
+}
+
+// predictBatchTreeMajorStd is the tree-major batch walk through the
+// LayoutStandard explicit-child descent.
+func (e *CompiledEnsemble) predictBatchTreeMajorStd(X [][]float64, out []float64) {
 	switch e.combine {
 	case combineBoosted:
 		for i := range out {
@@ -296,7 +615,7 @@ func (e *CompiledEnsemble) PredictBatchInto(X [][]float64, out []float64) {
 		}
 		for _, r := range e.roots {
 			for i, x := range X {
-				out[i] += e.rate * e.nodes.predictFrom(r, x)
+				out[i] += e.rate * e.predictFromStd(r, x)
 			}
 		}
 	default:
@@ -305,7 +624,7 @@ func (e *CompiledEnsemble) PredictBatchInto(X [][]float64, out []float64) {
 		}
 		for _, r := range e.roots {
 			for i, x := range X {
-				out[i] += e.nodes.predictFrom(r, x)
+				out[i] += e.predictFromStd(r, x)
 			}
 		}
 		n := float64(len(e.roots))

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 )
 
@@ -101,4 +102,105 @@ func BenchmarkTreePredictSingle(b *testing.B) {
 			_ = tr.Predict(x)
 		}
 	})
+}
+
+// benchForest fits the layout benchmarks' shared 100-tree ensemble.
+func benchForest(b *testing.B) (*Forest, [][]float64) {
+	b.Helper()
+	X, y, Xq := benchSetup(b, 4000)
+	f := &Forest{NTrees: 100, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 7, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	return f, Xq
+}
+
+// benchLayouts is the traversal-layout sweep the PR 8 numbers
+// (BENCH_PR8.json) and the CI regression guard are measured on:
+// "standard" is the explicit-child branchy walk (the PR 3 baseline),
+// "implicit-left" the branchless canonical walk, then the batch-only
+// and quantized variants.
+var benchLayouts = []Layout{LayoutStandard, LayoutImplicitLeft, LayoutLevelOrder, LayoutQuant16, LayoutQuant8}
+
+// BenchmarkForestPredictSingleLayout pairs single-row latency across
+// traversal layouts on a 100-tree ensemble.
+func BenchmarkForestPredictSingleLayout(b *testing.B) {
+	f, Xq := benchForest(b)
+	for _, layout := range benchLayouts {
+		if layout == LayoutLevelOrder {
+			continue // batch-only: single rows take the canonical walk
+		}
+		if err := SetLayoutOf(f, layout); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(layout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.Predict(Xq[i%len(Xq)])
+			}
+		})
+	}
+	if err := SetLayoutOf(f, LayoutImplicitLeft); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkForestPredictBatchLayout pairs 512-row batch scoring across
+// traversal layouts (sequential, workers 1, tree-major engaged — the
+// 100-tree table is far past the threshold).
+func BenchmarkForestPredictBatchLayout(b *testing.B) {
+	f, Xq := benchForest(b)
+	out := make([]float64, len(Xq))
+	for _, layout := range benchLayouts {
+		if err := SetLayoutOf(f, layout); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(layout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := f.PredictBatchInto(Xq, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	if err := SetLayoutOf(f, LayoutImplicitLeft); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestTraversalBenchGuard is the CI bench-regression smoke gate
+// (satellite of the PR 8 raw-speed push): with LAM_BENCH_GUARD=1 it
+// times the branchless implicit-left walk against the explicit-child
+// baseline and fails when branchless is more than 1.3x slower — a
+// generous guard that only trips on a real regression (the whole point
+// of the layout is to be faster), not on scheduler noise.
+func TestTraversalBenchGuard(t *testing.T) {
+	if os.Getenv("LAM_BENCH_GUARD") != "1" {
+		t.Skip("set LAM_BENCH_GUARD=1 to run the traversal regression guard")
+	}
+	rng := rand.New(rand.NewSource(42))
+	X, y := randomRegression(rng, 4000, 6)
+	Xq, _ := randomRegression(rng, 512, 6)
+	f := &Forest{NTrees: 100, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 7, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	time := func(layout Layout) float64 {
+		if err := SetLayoutOf(f, layout); err != nil {
+			t.Fatal(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.Predict(Xq[i%len(Xq)])
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	standard := time(LayoutStandard)
+	branchless := time(LayoutImplicitLeft)
+	t.Logf("single-row: standard %.0f ns/op, branchless %.0f ns/op (%.2fx)",
+		standard, branchless, standard/branchless)
+	if branchless > 1.3*standard {
+		t.Errorf("branchless single-row walk is %.2fx the baseline (%.0f vs %.0f ns/op), beyond the 1.3x guard",
+			branchless/standard, branchless, standard)
+	}
 }

@@ -39,7 +39,7 @@ func refTree(c *CompiledTree) *refNode { return buildRef(c, 0) }
 func buildRef(c *CompiledTree, i int32) *refNode {
 	n := &refNode{feature: int(c.feature[i]), threshold: c.threshold[i], value: c.value[i]}
 	if c.feature[i] >= 0 {
-		n.left = buildRef(c, c.left[i])
+		n.left = buildRef(c, i+1) // canonical preorder: left child is implicit
 		n.right = buildRef(c, c.right[i])
 	}
 	return n
@@ -217,7 +217,7 @@ func TestCompiledEquivalenceTreeMajor(t *testing.T) {
 	if err := f.Fit(X, y); err != nil {
 		t.Fatal(err)
 	}
-	if n := f.compiled.NumNodes(); n < batchTreeMajorMinNodes {
+	if n := f.compiled.NumNodes(); n < BatchTreeMajorThreshold() {
 		t.Fatalf("setup too small for the tree-major path: %d nodes", n)
 	}
 	refs := make([]*refNode, len(f.trees))

@@ -1,0 +1,289 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// exactLayouts are the layouts that must stay bit-identical to the
+// recursive reference walk.
+var exactLayouts = []Layout{LayoutImplicitLeft, LayoutStandard, LayoutLevelOrder}
+
+func TestLayoutParseRoundTrip(t *testing.T) {
+	for _, l := range []Layout{LayoutDefault, LayoutImplicitLeft, LayoutStandard,
+		LayoutLevelOrder, LayoutQuant16, LayoutQuant8} {
+		got, err := ParseLayout(l.String())
+		if err != nil {
+			t.Fatalf("ParseLayout(%q): %v", l.String(), err)
+		}
+		if got != l {
+			t.Fatalf("ParseLayout(%q) = %v, want %v", l.String(), got, l)
+		}
+	}
+	if l, err := ParseLayout("branchless"); err != nil || l != LayoutImplicitLeft {
+		t.Fatalf("branchless alias: got %v, %v", l, err)
+	}
+	if _, err := ParseLayout("zigzag"); err == nil {
+		t.Fatal("unknown layout name accepted")
+	}
+}
+
+// TestCompiledEquivalenceLayouts is the layout extension of
+// TestCompiledEquivalence: across random tree configurations, every
+// exact layout must produce bit-identical predictions to the legacy
+// recursive pointer walk — single vector and batch, on both sides of
+// the tree-major threshold (forced via SetBatchTreeMajorThreshold so
+// small fixtures exercise the tree-major striding too).
+func TestCompiledEquivalenceLayouts(t *testing.T) {
+	defer SetBatchTreeMajorThreshold(0)
+	rng := rand.New(rand.NewSource(0x1a7))
+	for trial := 0; trial < 8; trial++ {
+		n := 30 + rng.Intn(170)
+		p := 1 + rng.Intn(6)
+		X, y := randomRegression(rng, n, p)
+		Xq, _ := randomRegression(rng, 48, p)
+		cfg := randomTreeConfig(rng)
+
+		f := &Forest{NTrees: 2 + rng.Intn(8), Tree: cfg, Bootstrap: rng.Intn(2) == 0, Seed: rng.Int63(), Workers: 1}
+		if err := f.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*refNode, len(f.trees))
+		for i, tr := range f.trees {
+			refs[i] = refTree(&tr.nodes)
+		}
+
+		g := &GradientBoosting{NStages: 2 + rng.Intn(8), MaxDepth: 1 + rng.Intn(4), Seed: rng.Int63(), Workers: 1}
+		if err := g.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		grefs := make([]*refNode, len(g.stages))
+		for i, tr := range g.stages {
+			grefs[i] = refTree(&tr.nodes)
+		}
+
+		out := make([]float64, len(Xq))
+		for _, layout := range exactLayouts {
+			if err := SetLayoutOf(f, layout); err != nil {
+				t.Fatalf("forest SetLayoutOf(%v): %v", layout, err)
+			}
+			if err := SetLayoutOf(g, layout); err != nil {
+				t.Fatalf("gbr SetLayoutOf(%v): %v", layout, err)
+			}
+			if got := f.compiled.Layout(); got != layout {
+				t.Fatalf("forest layout = %v, want %v", got, layout)
+			}
+			// Both batch strategies: row-major (huge threshold) and
+			// tree-major (threshold 1).
+			for _, thr := range []int{1 << 30, 1} {
+				SetBatchTreeMajorThreshold(thr)
+				if err := f.PredictBatchInto(Xq, out); err != nil {
+					t.Fatal(err)
+				}
+				for i, x := range Xq {
+					want := refForestPredict(refs, x)
+					if !sameBits(out[i], want) {
+						t.Fatalf("forest %v thr=%d row %d: %x != recursive %x (cfg %+v)", layout, thr, i, out[i], want, cfg)
+					}
+				}
+				if err := g.PredictBatchInto(Xq, out); err != nil {
+					t.Fatal(err)
+				}
+				for i, x := range Xq {
+					want := refBoostedPredict(grefs, g.init, g.rate, x)
+					if !sameBits(out[i], want) {
+						t.Fatalf("gbr %v thr=%d row %d: %x != recursive %x", layout, thr, i, out[i], want)
+					}
+				}
+			}
+			for _, x := range Xq {
+				if got, want := f.Predict(x), refForestPredict(refs, x); !sameBits(got, want) {
+					t.Fatalf("forest %v single: %x != recursive %x (cfg %+v)", layout, got, want, cfg)
+				}
+				if got, want := g.Predict(x), refBoostedPredict(grefs, g.init, g.rate, x); !sameBits(got, want) {
+					t.Fatalf("gbr %v single: %x != recursive %x", layout, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSetBatchTreeMajorThresholdBoundary pins the satellite contract:
+// the tree-major crossover is tunable at runtime, the two strategies
+// are bit-identical at the boundary, and 0 restores the default.
+func TestSetBatchTreeMajorThresholdBoundary(t *testing.T) {
+	defer SetBatchTreeMajorThreshold(0)
+	rng := rand.New(rand.NewSource(0x7e57))
+	X, y := randomRegression(rng, 300, 4)
+	Xq, _ := randomRegression(rng, 64, 4)
+
+	f := &Forest{NTrees: 12, Tree: TreeConfig{Splitter: RandomSplitter}, Seed: 3, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	nodes := f.compiled.NumNodes()
+
+	rowMajor := make([]float64, len(Xq))
+	treeMajor := make([]float64, len(Xq))
+	// Just above the table size: row-major. At the table size (the
+	// boundary value where n >= threshold first holds): tree-major.
+	SetBatchTreeMajorThreshold(nodes + 1)
+	if got := BatchTreeMajorThreshold(); got != nodes+1 {
+		t.Fatalf("threshold getter = %d, want %d", got, nodes+1)
+	}
+	if err := f.PredictBatchInto(Xq, rowMajor); err != nil {
+		t.Fatal(err)
+	}
+	SetBatchTreeMajorThreshold(nodes)
+	if err := f.PredictBatchInto(Xq, treeMajor); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rowMajor {
+		if !sameBits(rowMajor[i], treeMajor[i]) {
+			t.Fatalf("row %d: row-major %x != tree-major %x", i, rowMajor[i], treeMajor[i])
+		}
+		if want := f.Predict(Xq[i]); !sameBits(rowMajor[i], want) {
+			t.Fatalf("row %d: batch %x != single %x", i, rowMajor[i], want)
+		}
+	}
+
+	SetBatchTreeMajorThreshold(0)
+	if got := BatchTreeMajorThreshold(); got != defaultBatchTreeMajorMinNodes {
+		t.Fatalf("threshold after reset = %d, want default %d", got, defaultBatchTreeMajorMinNodes)
+	}
+}
+
+// TestSetDefaultLayout asserts the process default is applied at
+// compile time and stays bit-identical across exact layouts.
+func TestSetDefaultLayout(t *testing.T) {
+	defer SetDefaultLayout(LayoutDefault)
+	rng := rand.New(rand.NewSource(0xd3f))
+	X, y := randomRegression(rng, 150, 3)
+	Xq, _ := randomRegression(rng, 32, 3)
+
+	f := &Forest{NTrees: 6, Seed: 1, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := f.PredictBatch(Xq)
+
+	SetDefaultLayout(LayoutStandard)
+	if got := DefaultLayout(); got != LayoutStandard {
+		t.Fatalf("DefaultLayout = %v, want standard", got)
+	}
+	f2 := &Forest{NTrees: 6, Seed: 1, Workers: 1}
+	if err := f2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.compiled.Layout(); got != LayoutStandard {
+		t.Fatalf("compiled layout = %v, want standard", got)
+	}
+	for i, x := range Xq {
+		if got := f2.Predict(x); !sameBits(got, want[i]) {
+			t.Fatalf("row %d: standard-default %x != implicit-left %x", i, got, want[i])
+		}
+	}
+}
+
+// TestLayoutEstimatorConfig asserts the per-estimator Layout knob is
+// honoured at Fit time, including quantized layouts.
+func TestLayoutEstimatorConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xcf9))
+	X, y := randomRegression(rng, 150, 4)
+
+	f := &Forest{NTrees: 5, Seed: 2, Workers: 1, Layout: LayoutLevelOrder}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.compiled.Layout(); got != LayoutLevelOrder {
+		t.Fatalf("forest layout = %v, want level-order", got)
+	}
+
+	g := &GradientBoosting{NStages: 5, Seed: 2, Workers: 1, Layout: LayoutStandard}
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.compiled.Layout(); got != LayoutStandard {
+		t.Fatalf("gbr layout = %v, want standard", got)
+	}
+
+	bag := &Bagging{
+		NewBase: func() Regressor { return NewDecisionTree(TreeConfig{Seed: 3, MaxDepth: 5}) },
+		N:       4, Seed: 2, Workers: 1, Layout: LayoutQuant16,
+	}
+	if err := bag.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := bag.compiled.Layout(); got != LayoutQuant16 {
+		t.Fatalf("bagging layout = %v, want quant16", got)
+	}
+	if l, ok := LayoutOf(bag); !ok || l != LayoutQuant16 {
+		t.Fatalf("LayoutOf(bagging) = %v, %v", l, ok)
+	}
+}
+
+// TestSetLayoutOfErrors pins the misuse contract of the structural
+// relayout helper.
+func TestSetLayoutOfErrors(t *testing.T) {
+	if err := SetLayoutOf(&Forest{}, LayoutStandard); err == nil {
+		t.Error("relayout of an unfitted forest accepted")
+	}
+	lr := &LinearRegression{}
+	if err := SetLayoutOf(lr, LayoutImplicitLeft); err != nil {
+		t.Errorf("exact layout on a non-tree model should be a no-op, got %v", err)
+	}
+	if err := SetLayoutOf(lr, LayoutQuant8); err == nil {
+		t.Error("quantized layout on a non-tree model accepted")
+	}
+	rng := rand.New(rand.NewSource(9))
+	X, y := randomRegression(rng, 60, 3)
+	tr := NewDecisionTree(TreeConfig{Seed: 1, MaxDepth: 4})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetLayoutOf(tr, LayoutLevelOrder); err != nil {
+		t.Errorf("exact layout on a bare tree should be a no-op, got %v", err)
+	}
+	if err := SetLayoutOf(tr, LayoutQuant16); err == nil {
+		t.Error("in-place quantization of a bare tree accepted (should direct to Quantize)")
+	}
+}
+
+// TestLayoutPredictAllocationFree extends the serve-hot-path contract
+// to the alternative layouts: every layout's single and sequential
+// batch prediction stays allocation-free in steady state.
+func TestLayoutPredictAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	defer SetBatchTreeMajorThreshold(0)
+	rng := rand.New(rand.NewSource(0xa110c))
+	X, y := randomRegression(rng, 200, 4)
+	Xq, _ := randomRegression(rng, 50, 4)
+	out := make([]float64, len(Xq))
+
+	f := &Forest{NTrees: 10, Seed: 1, Workers: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	layouts := append([]Layout{LayoutQuant16, LayoutQuant8}, exactLayouts...)
+	for _, layout := range layouts {
+		if err := SetLayoutOf(f, layout); err != nil {
+			t.Fatal(err)
+		}
+		for _, thr := range []int{1 << 30, 1} {
+			SetBatchTreeMajorThreshold(thr)
+			x := Xq[0]
+			if allocs := testing.AllocsPerRun(100, func() { f.Predict(x) }); allocs != 0 {
+				t.Errorf("%v: Predict allocates %.1f per call, want 0", layout, allocs)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				if err := f.PredictBatchInto(Xq, out); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("%v thr=%d: PredictBatchInto allocates %.1f per batch, want 0", layout, thr, allocs)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package ml
+
+// The depth-bucketed level-order layout (LayoutLevelOrder). Each
+// member tree's nodes are re-emitted breadth-first, level by level, so
+// all nodes of one depth are contiguous. Tree-major batch scoring then
+// walks *one level of one tree per pass* over the whole row block:
+// every active row advances exactly one level per sweep, which keeps
+// the touched node span of each pass as small as one level bucket
+// instead of one root-to-leaf path per row. Rows that reach a leaf
+// fold its value into their accumulator (in tree order, so the result
+// stays bit-identical to per-row Predict) and drop out of the sweep.
+//
+// This is a batch layout: single-row prediction keeps using the
+// canonical preorder walk, which is bit-identical.
+
+// levelEnsemble holds the BFS re-emission of a compiled ensemble.
+// Child indices are explicit (the implicit-left trick is a preorder
+// property) and global across the concatenated trees.
+type levelEnsemble struct {
+	feature   []int32
+	threshold []float64
+	value     []float64
+	left      []int32
+	right     []int32
+	roots     []int32
+}
+
+// buildLevelEnsemble re-emits every member tree of e breadth-first.
+func buildLevelEnsemble(e *CompiledEnsemble) *levelEnsemble {
+	n := e.nodes.Len()
+	le := &levelEnsemble{
+		feature:   make([]int32, 0, n),
+		threshold: make([]float64, 0, n),
+		value:     make([]float64, 0, n),
+		left:      make([]int32, 0, n),
+		right:     make([]int32, 0, n),
+		roots:     make([]int32, 0, len(e.roots)),
+	}
+	c := &e.nodes
+	// queue holds global old indices in BFS order; newIdx maps a
+	// position in queue to its new global index, which is just the
+	// emission order — so children enqueued later automatically get
+	// later (deeper-level) slots.
+	queue := make([]int32, 0, 64)
+	for _, root := range e.roots {
+		base := int32(len(le.feature))
+		le.roots = append(le.roots, base)
+		queue = queue[:0]
+		queue = append(queue, root)
+		// First pass: BFS emission order. A node's new index is
+		// base + its position in queue.
+		for qi := 0; qi < len(queue); qi++ {
+			old := queue[qi]
+			if c.feature[old] >= 0 {
+				queue = append(queue, old+1, c.right[old])
+			}
+		}
+		// newOf maps old (tree-local offset from the tree's first old
+		// node is not contiguous in BFS, so index by old global).
+		newOf := make(map[int32]int32, len(queue))
+		for qi, old := range queue {
+			newOf[old] = base + int32(qi)
+		}
+		for _, old := range queue {
+			f := c.feature[old]
+			le.feature = append(le.feature, f)
+			le.threshold = append(le.threshold, c.threshold[old])
+			le.value = append(le.value, c.value[old])
+			if f < 0 {
+				le.left = append(le.left, -1)
+				le.right = append(le.right, -1)
+			} else {
+				le.left = append(le.left, newOf[old+1])
+				le.right = append(le.right, newOf[c.right[old]])
+			}
+		}
+	}
+	return le
+}
+
+// predictBatchInto is the level-synchronous tree-major batch walk:
+// outer loop trees, middle loop level sweeps, inner loop rows. Each
+// row's accumulator folds tree contributions in tree order, so the
+// result is bit-identical to per-row Predict calls. Steady-state
+// allocation-free (the per-row cursor comes from a pool).
+func (le *levelEnsemble) predictBatchInto(e *CompiledEnsemble, X [][]float64, out []float64) {
+	boosted := e.combine == combineBoosted
+	if boosted {
+		for i := range out {
+			out[i] = e.init
+		}
+	} else {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	curp := getScratchI32(len(X))
+	cur := *curp
+	feature, threshold := le.feature, le.threshold
+	left, right := le.left, le.right
+	for _, r := range le.roots {
+		for i := range cur {
+			cur[i] = r
+		}
+		active := len(X)
+		for active > 0 {
+			for i, x := range X {
+				n := cur[i]
+				if n < 0 {
+					continue
+				}
+				f := feature[n]
+				if f < 0 {
+					if boosted {
+						out[i] += e.rate * le.value[n]
+					} else {
+						out[i] += le.value[n]
+					}
+					cur[i] = -1
+					active--
+					continue
+				}
+				if x[f] <= threshold[n] {
+					cur[i] = left[n]
+				} else {
+					cur[i] = right[n]
+				}
+			}
+		}
+	}
+	putScratchI32(curp)
+	if !boosted {
+		n := float64(len(le.roots))
+		for i := range out {
+			out[i] /= n
+		}
+	}
+}

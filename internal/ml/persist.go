@@ -47,21 +47,29 @@ type treeDTO struct {
 	Nodes       []nodeDTO  `json:"nodes"`
 }
 
-// The on-disk node list IS the runtime layout: the compiled node table
-// maps 1:1 onto []nodeDTO (same preorder, same index-based children),
-// so loading a model decodes straight into compiled form with no
-// intermediate pointer tree. The serialised bytes are unchanged from
-// the pre-compiled-plane format.
+// The on-disk node list keeps explicit two-child form (the jsonv1
+// forward-compat contract): the Left column is synthesised from the
+// canonical implicit-left runtime layout on save (i+1 for internal
+// nodes, -1 for leaves — exactly the bytes the pre-PR 8 format wrote,
+// since the builder has always emitted canonical preorder) and folded
+// back out on load. Loading canonicalises: any structurally valid
+// explicit-child table — canonical or not — is re-emitted in preorder
+// with the left child adjacent, a node permutation that leaves every
+// prediction bit-identical.
 
 func flattenTree(c *CompiledTree) []nodeDTO {
 	nodes := make([]nodeDTO, c.Len())
 	for i := range nodes {
+		left := -1
+		if c.feature[i] >= 0 {
+			left = i + 1
+		}
 		nodes[i] = nodeDTO{
 			Feature:   int(c.feature[i]),
 			Threshold: c.threshold[i],
 			Value:     c.value[i],
 			N:         int(c.nSamples[i]),
-			Left:      int(c.left[i]),
+			Left:      left,
 			Right:     int(c.right[i]),
 		}
 	}
@@ -69,21 +77,95 @@ func flattenTree(c *CompiledTree) []nodeDTO {
 }
 
 func compileNodes(nodes []nodeDTO) (CompiledTree, error) {
-	c := CompiledTree{
-		feature:   make([]int32, len(nodes)),
-		threshold: make([]float64, len(nodes)),
-		value:     make([]float64, len(nodes)),
-		left:      make([]int32, len(nodes)),
-		right:     make([]int32, len(nodes)),
-		nSamples:  make([]int32, len(nodes)),
-	}
+	n := len(nodes)
+	feature := make([]int32, n)
+	threshold := make([]float64, n)
+	value := make([]float64, n)
+	left := make([]int32, n)
+	right := make([]int32, n)
+	nSamples := make([]int32, n)
 	for i, d := range nodes {
-		c.feature[i] = int32(d.Feature)
-		c.threshold[i] = d.Threshold
-		c.value[i] = d.Value
-		c.left[i] = int32(d.Left)
-		c.right[i] = int32(d.Right)
-		c.nSamples[i] = int32(d.N)
+		feature[i] = int32(d.Feature)
+		threshold[i] = d.Threshold
+		value[i] = d.Value
+		left[i] = int32(d.Left)
+		right[i] = int32(d.Right)
+		nSamples[i] = int32(d.N)
+	}
+	return canonicalTree(feature, threshold, value, left, right, nSamples)
+}
+
+// canonicalTree builds a canonical implicit-left CompiledTree from
+// explicit child arrays, validating the structural invariants the
+// legacy format promised (children exist and strictly follow their
+// parent, ruling out cycles; every node reachable from the root).
+// Tables already in canonical order — everything this codebase has
+// ever written — are adopted without copying, preserving the binary
+// codec's zero-copy decode; anything else is permuted into preorder,
+// which leaves predictions bit-identical.
+func canonicalTree(feature []int32, threshold, value []float64, left, right, nSamples []int32) (CompiledTree, error) {
+	n := len(feature)
+	if n == 0 {
+		return CompiledTree{}, fmt.Errorf("ml: corrupt tree: empty node list")
+	}
+	if len(threshold) != n || len(value) != n || len(left) != n || len(right) != n || len(nSamples) != n {
+		return CompiledTree{}, fmt.Errorf("ml: corrupt tree: ragged node arrays")
+	}
+	canonical := true
+	for i := 0; i < n; i++ {
+		if feature[i] < 0 {
+			continue // leaf; child indices are ignored
+		}
+		l, r := left[i], right[i]
+		if l <= int32(i) || r <= int32(i) || int(l) >= n || int(r) >= n {
+			return CompiledTree{}, fmt.Errorf("ml: corrupt tree: internal node %d has children (%d, %d) outside (%d, %d)", i, l, r, i, n)
+		}
+		if l != int32(i)+1 {
+			canonical = false
+		}
+	}
+	// Subtree sizes, children-after-parent order makes one descending
+	// pass suffice; the root's size doubles as a reachability check.
+	size := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		if feature[i] < 0 {
+			size[i] = 1
+		} else {
+			size[i] = 1 + size[left[i]] + size[right[i]]
+		}
+	}
+	if size[0] != int32(n) {
+		return CompiledTree{}, fmt.Errorf("ml: corrupt tree: node graph is not a single tree (root subtree covers %d of %d nodes)", size[0], n)
+	}
+	c := CompiledTree{feature: feature, threshold: threshold, value: value, right: right, nSamples: nSamples}
+	if !canonical {
+		out := CompiledTree{
+			feature:   make([]int32, n),
+			threshold: make([]float64, n),
+			value:     make([]float64, n),
+			right:     make([]int32, n),
+			nSamples:  make([]int32, n),
+		}
+		type frame struct{ old, new int32 }
+		stack := make([]frame, 1, 64)
+		stack[0] = frame{0, 0}
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out.feature[fr.new] = feature[fr.old]
+			out.threshold[fr.new] = threshold[fr.old]
+			out.value[fr.new] = value[fr.old]
+			out.nSamples[fr.new] = nSamples[fr.old]
+			if feature[fr.old] < 0 {
+				out.right[fr.new] = -1
+				continue
+			}
+			l, r := left[fr.old], right[fr.old]
+			rNew := fr.new + 1 + size[l]
+			out.right[fr.new] = rNew
+			stack = append(stack, frame{r, rNew}, frame{l, fr.new + 1})
+		}
+		c = out
 	}
 	if err := c.validate(); err != nil {
 		return CompiledTree{}, err
@@ -248,6 +330,11 @@ func encodeModel(m Regressor) (*modelEnvelope, error) {
 		}
 		d.Meta = *meta
 		kind, payload = "stacking", d
+	case *QuantizedModel:
+		// jsonv1 stores exact float64 split thresholds per node; a
+		// quantized table dropped those. Quantized models persist only
+		// through the lamb1 binary codec (version 2).
+		return nil, fmt.Errorf("ml: SaveModel cannot represent a quantized model; use the binary codec (EncodeBinary)")
 	default:
 		return nil, fmt.Errorf("ml: SaveModel does not support %T", m)
 	}

@@ -24,6 +24,13 @@ type Server struct {
 	// Workers bounds per-request batch parallelism for regressor
 	// models; <= 0 means the process default.
 	Workers int
+	// Layout is the traversal layout applied to every model the server
+	// loads or swaps in (lam-serve -layout). LayoutDefault keeps the
+	// process default (branchless implicit-left). A model that cannot
+	// take the layout — e.g. a quantized layout over a non-tree or
+	// already-quantized model — fails its load loudly rather than
+	// serving with a silently different speed/accuracy profile.
+	Layout ml.Layout
 	// Metrics is the server's counter set (GET /metrics). Zero value
 	// ready; exported so tests and embedders can read it.
 	Metrics Metrics
@@ -170,6 +177,9 @@ func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
 		return nil, err
 	}
 	m.Workers = s.Workers
+	if err := s.applyLayout(m); err != nil {
+		return nil, err
+	}
 	p := s.latestPtr(name)
 	for {
 		cur := p.Load()
@@ -183,6 +193,19 @@ func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
 			return m, nil
 		}
 	}
+}
+
+// applyLayout relayouts a freshly loaded model per the server's Layout
+// config, before the model is published to any request goroutine (both
+// load paths call it while the model is still private to the loader).
+func (s *Server) applyLayout(m *registry.Model) error {
+	if s.Layout == ml.LayoutDefault {
+		return nil // decode already applied the process default
+	}
+	if err := m.ApplyLayout(s.Layout); err != nil {
+		return fmt.Errorf("serve: applying layout %v to %s@%d: %w", s.Layout, m.Meta.Name, m.Meta.Version, err)
+	}
+	return nil
 }
 
 // Reload force-resolves name's latest registry version into the hot
@@ -221,6 +244,9 @@ func (s *Server) loadPinned(name string, version int) (*registry.Model, error) {
 		return nil, err
 	}
 	m.Workers = s.Workers
+	if err := s.applyLayout(m); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if cached, ok := s.cache[key]; ok {
 		m = cached // another request won the load race; keep one instance

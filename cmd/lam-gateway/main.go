@@ -9,7 +9,8 @@
 //	            [-attempts 2] [-bound-factor 1.25] \
 //	            [-probe-interval 500ms] [-probe-timeout 2s] \
 //	            [-eject-after 3] [-readmit-after 2] \
-//	            [-pprof localhost:6061]
+//	            [-pprof localhost:6061] \
+//	            [-log-format text] [-trace-slow 0]
 //
 // -pprof exposes net/http/pprof on a separate listener (kept off the
 // proxy address) for profiling the gateway itself under load.
@@ -38,7 +39,9 @@
 //
 //	GET  /healthz  — fleet summary (503 once no backend is live)
 //	GET  /models   — union of every live backend's /models
-//	GET  /metrics  — per-backend counters + routing latency histogram
+//	GET  /metrics  — Prometheus text exposition (?format=json serves
+//	                 the legacy counter document for one release)
+//	GET  /trace/recent — the last 256 finished request traces
 //	POST /predict  — proxied, byte-identical to the direct replica call
 //	POST /observe  — proxied (same consistent routing, so a model's
 //	                 observation window stays on one replica)
@@ -51,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux the -pprof listener serves
 	"os"
@@ -60,7 +64,12 @@ import (
 	"time"
 
 	"lam/internal/gateway"
+	"lam/internal/telemetry"
 )
+
+// lg is the process logger, replaced in main once -log-format is
+// parsed.
+var lg = slog.Default()
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -75,13 +84,21 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	seed := flag.Int64("seed", 1, "random-route mode: PRNG seed")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
+	logFormat := flag.String("log-format", "text", "structured-log output format: text or json")
+	traceSlow := flag.Duration("trace-slow", 0, "log the span tree of any proxied request slower than this (0 disables)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	lg = logger.With("component", "lam-gateway")
 
 	if *pprofAddr != "" {
 		go func(addr string) {
-			fmt.Fprintf(os.Stderr, "lam-gateway: pprof on http://%s/debug/pprof/\n", addr)
+			lg.Info("pprof listening", "url", "http://"+addr+"/debug/pprof/")
 			if err := http.ListenAndServe(addr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "lam-gateway: pprof: %v\n", err)
+				lg.Error("pprof listener failed", "err", err)
 			}
 		}(*pprofAddr)
 	}
@@ -110,14 +127,16 @@ func main() {
 		MaxAttempts: *attempts,
 		Random:      *route == "random",
 		Seed:        *seed,
+		Logger:      lg,
+		TraceSlow:   *traceSlow,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer g.Close()
-	fmt.Fprintf(os.Stderr, "lam-gateway: %s routing over %d backend(s):\n", *route, len(urls))
+	lg.Info("routing configured", "policy", *route, "backends", len(urls))
 	for _, u := range urls {
-		fmt.Fprintf(os.Stderr, "lam-gateway:   %s\n", u)
+		lg.Info("backend", "url", u)
 	}
 
 	srv := &http.Server{
@@ -135,7 +154,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "lam-gateway: listening on %s\n", *addr)
+		lg.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -144,7 +163,7 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
-		fmt.Fprintf(os.Stderr, "lam-gateway: shutting down (drain %s)\n", *drain)
+		lg.Info("shutting down", "drain", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -157,6 +176,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lam-gateway:", err)
+	lg.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -11,6 +11,7 @@
 //	            [-mode closed|open] [-concurrency 32] [-qps 5000] \
 //	            [-duration 10s] [-batch 64] [-batch-fraction 0.25] \
 //	            [-targets url1,url2] [-id serve-coalesced] [-json]
+//	            [-slowest 5]
 //
 // Fleet modes: -model accepts a comma-separated list — requests cycle
 // through the names, which is how a gateway's per-model routing is
@@ -35,6 +36,11 @@
 // -data (a lam-datagen CSV whose rows are cycled round-robin). With
 // -batch-fraction f and -batch N, a deterministic interleave sends
 // fraction f of requests as N-row batches and the rest as singles.
+//
+// Every request carries a freshly minted X-Lam-Trace ID, and the
+// report lists the IDs of the -slowest N slowest successful requests —
+// paste one into the server's GET /trace/recent (or grep its
+// -trace-slow log) to see exactly where that request spent its time.
 //
 // Responses with status 429 count as shed (the server's admission
 // control working as designed), any other non-200 as an error. -json
@@ -64,14 +70,47 @@ import (
 	"time"
 
 	"lam/internal/dataset"
+	"lam/internal/telemetry"
 )
+
+// slowestN is the -slowest flag: how many of the slowest successful
+// requests to report trace IDs for.
+var slowestN = 5
+
+// slowReq pairs one successful request's latency with the trace ID it
+// was sent under.
+type slowReq struct {
+	lat time.Duration
+	id  string
+}
 
 type result struct {
 	latencies []time.Duration // successful requests only
+	slow      []slowReq       // the slowestN slowest successful requests
 	requests  uint64
 	rows      uint64
 	shed      uint64
 	errors    uint64
+}
+
+// recordSlow keeps r.slow holding the slowestN largest latencies seen.
+func (r *result) recordSlow(lat time.Duration, id string) {
+	if slowestN <= 0 {
+		return
+	}
+	if len(r.slow) < slowestN {
+		r.slow = append(r.slow, slowReq{lat, id})
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.slow); i++ {
+		if r.slow[i].lat < r.slow[min].lat {
+			min = i
+		}
+	}
+	if lat > r.slow[min].lat {
+		r.slow[min] = slowReq{lat, id}
+	}
 }
 
 type jsonReport struct {
@@ -88,6 +127,14 @@ type jsonReport struct {
 	// PerTarget breaks the run down by target URL in direct fleet mode
 	// (-targets with more than one URL).
 	PerTarget []jsonTarget `json:"per_target,omitempty"`
+	// Slowest lists the slowest successful requests with the trace IDs
+	// they were sent under (look them up at GET /trace/recent).
+	Slowest []jsonSlow `json:"slowest,omitempty"`
+}
+
+type jsonSlow struct {
+	Ns      int64  `json:"ns"`
+	TraceID string `json:"trace_id"`
 }
 
 type jsonTarget struct {
@@ -134,7 +181,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout (bounds how long a stalled server can hang the run)")
 	id := flag.String("id", "loadgen", "benchmark id for the -json report")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	slowest := flag.Int("slowest", 5, "report the trace IDs of this many slowest successful requests (0 disables)")
 	flag.Parse()
+	slowestN = *slowest
 
 	if *model == "" {
 		fatal(fmt.Errorf("-model is required"))
@@ -319,10 +368,21 @@ func prepareBodies(models []string, rows [][]float64, batchSize int, fraction fl
 	return bodies
 }
 
-// shoot issues one request and records it into r.
+// shoot issues one request — under a freshly minted trace ID, so a
+// slow request can be looked up in the server's trace ring — and
+// records it into r.
 func shoot(client *http.Client, endpoint string, b body, r *result) {
+	id := telemetry.NewTraceID().String()
+	req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(b.payload))
+	if err != nil {
+		r.requests++
+		r.errors++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, id)
 	t0 := time.Now()
-	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(b.payload))
+	resp, err := client.Do(req)
 	lat := time.Since(t0)
 	r.requests++
 	if err != nil {
@@ -335,6 +395,7 @@ func shoot(client *http.Client, endpoint string, b body, r *result) {
 	case resp.StatusCode == http.StatusOK:
 		r.rows += b.rows
 		r.latencies = append(r.latencies, lat)
+		r.recordSlow(lat, id)
 	case resp.StatusCode == http.StatusTooManyRequests:
 		r.shed++
 	default:
@@ -443,6 +504,9 @@ func merge(results []result) result {
 
 func mergeInto(total *result, r result) {
 	total.latencies = append(total.latencies, r.latencies...)
+	for _, sr := range r.slow {
+		total.recordSlow(sr.lat, sr.id)
+	}
 	total.requests += r.requests
 	total.rows += r.rows
 	total.shed += r.shed
@@ -511,6 +575,9 @@ func report(jsonOut bool, id, url, model, mode string, concurrency int, qps floa
 				})
 			}
 		}
+		for _, sr := range slowestOf(r) {
+			rep.Slowest = append(rep.Slowest, jsonSlow{Ns: sr.lat.Nanoseconds(), TraceID: sr.id})
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -521,6 +588,9 @@ func report(jsonOut bool, id, url, model, mode string, concurrency int, qps floa
 		fmt.Printf("achieved %.1f req/s (%.1f rows/s)\n", achievedQPS, achievedRows)
 		fmt.Printf("latency mean %s  p50 %s  p95 %s  p99 %s  max %s\n", mean, p50, p95, p99, max)
 		fmt.Printf("shed %d (%.2f%%)  errors %d  local drops %d\n", r.shed, shedRate*100, r.errors, localDrops)
+		for _, sr := range slowestOf(r) {
+			fmt.Printf("slowest %-12s  trace %s\n", sr.lat, sr.id)
+		}
 		if len(perTarget) > 1 {
 			for t, tr := range perTarget {
 				fmt.Printf("target %s  %.1f req/s  (%d requests, %d rows, shed %d, errors %d)\n",
@@ -532,6 +602,13 @@ func report(jsonOut bool, id, url, model, mode string, concurrency int, qps floa
 	if r.errors > 0 {
 		fmt.Fprintf(os.Stderr, "lam-loadgen: %d requests failed\n", r.errors)
 	}
+}
+
+// slowestOf returns the run's slowest requests, slowest first.
+func slowestOf(r result) []slowReq {
+	out := append([]slowReq(nil), r.slow...)
+	sort.Slice(out, func(i, j int) bool { return out[i].lat > out[j].lat })
+	return out
 }
 
 func fatal(err error) {

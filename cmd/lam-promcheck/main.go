@@ -1,0 +1,113 @@
+// Command lam-promcheck validates Prometheus text expositions: it
+// fetches each URL (or reads stdin), runs the strict in-repo parser
+// over the document, and exits nonzero on the first violation — the CI
+// gate that keeps lam-serve's and lam-gateway's /metrics endpoints
+// honest without an external Prometheus toolchain.
+//
+// Usage:
+//
+//	lam-promcheck http://127.0.0.1:8080/metrics [more URLs...]
+//	lam-promcheck -            # validate a document piped on stdin
+//
+// The parser enforces the exposition format strictly — HELP/TYPE
+// ordering, unique families, contiguous and duplicate-free series,
+// sorted labels, histogram bucket invariants (ascending le, monotone
+// cumulative counts, +Inf terminal, _sum/_count consistency) — not
+// just "scrapes without error". Flags:
+//
+//	-require name   assert the named metric family is present and has
+//	                at least one sample (repeatable)
+//	-quiet          print nothing on success
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"lam/internal/telemetry"
+)
+
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var require requireList
+	flag.Var(&require, "require", "metric family that must be present with at least one sample (repeatable)")
+	quiet := flag.Bool("quiet", false, "print nothing on success")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-URL fetch timeout")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "lam-promcheck: at least one URL (or - for stdin) is required")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	failed := false
+	for _, target := range flag.Args() {
+		doc, err := fetch(client, target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lam-promcheck: %s: %v\n", target, err)
+			failed = true
+			continue
+		}
+		exp, err := telemetry.ParseExposition(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lam-promcheck: %s: invalid exposition: %v\n", target, err)
+			failed = true
+			continue
+		}
+		ok := true
+		for _, name := range require {
+			fam := exp.Family(name)
+			if fam == nil {
+				fmt.Fprintf(os.Stderr, "lam-promcheck: %s: required family %s is absent\n", target, name)
+				ok, failed = false, true
+			} else if len(fam.Samples) == 0 {
+				fmt.Fprintf(os.Stderr, "lam-promcheck: %s: required family %s has no samples\n", target, name)
+				ok, failed = false, true
+			}
+		}
+		if ok && !*quiet {
+			samples := 0
+			for _, f := range exp.Families {
+				samples += len(f.Samples)
+			}
+			fmt.Printf("lam-promcheck: %s: ok (%d families, %d samples)\n", target, len(exp.Families), samples)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// fetch retrieves one exposition document: an HTTP URL or "-" (stdin).
+func fetch(client *http.Client, target string) (string, error) {
+	if target == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	resp, err := client.Get(target)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return "", fmt.Errorf("unexpected Content-Type %q (want text/plain exposition)", ct)
+	}
+	return string(b), nil
+}

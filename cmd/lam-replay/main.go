@@ -6,7 +6,7 @@
 //
 //	lam-replay -model grid-hybrid [-addr http://127.0.0.1:8080]
 //	          [-workload stencil-blocking] [-machine xeon]
-//	          [-batch 32] [-max 0] [-seed 1]
+//	          [-batch 32] [-max 0] [-seed 1] [-log-format text]
 //
 // It builds the named workload's dataset on the named machine preset
 // (pick a *different* machine than the model was trained on to inject
@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -35,7 +36,12 @@ import (
 	"lam/internal/experiments"
 	"lam/internal/machine"
 	"lam/internal/online"
+	"lam/internal/telemetry"
 )
+
+// lg is the process logger (stderr diagnostics; the per-batch progress
+// stream stays on stdout), replaced in main once -log-format is parsed.
+var lg = slog.Default()
 
 type observeResponse struct {
 	Model    string        `json:"model"`
@@ -53,7 +59,14 @@ func main() {
 	batch := flag.Int("batch", 32, "observations per /observe request")
 	maxObs := flag.Int("max", 0, "stop after this many observations (0 = the whole dataset)")
 	seed := flag.Int64("seed", 1, "simulator + shuffle seed")
+	logFormat := flag.String("log-format", "text", "structured-log output format: text or json")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	lg = logger.With("component", "lam-replay")
 
 	if *model == "" {
 		fatal(fmt.Errorf("-model is required"))
@@ -65,7 +78,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "lam-replay: building %s observations on %s…\n", *workload, m.Name)
+	lg.Info("building observations", "workload", *workload, "machine", m.Name)
 	ds, err := experiments.DatasetByName(*workload, m, uint64(*seed))
 	if err != nil {
 		fatal(err)
@@ -77,8 +90,7 @@ func main() {
 	if *maxObs > 0 && *maxObs < total {
 		total = *maxObs
 	}
-	fmt.Fprintf(os.Stderr, "lam-replay: streaming %d of %d observations to %s (batch %d)\n",
-		total, ds.Len(), *addr, *batch)
+	lg.Info("streaming observations", "sending", total, "dataset", ds.Len(), "addr", *addr, "batch", *batch)
 
 	startVersion := 0
 	preSwap, postSwap := 0.0, 0.0
@@ -86,7 +98,7 @@ func main() {
 	sent := 0
 	for sent < total {
 		if err := ctx.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "lam-replay: interrupted")
+			lg.Warn("interrupted")
 			os.Exit(130)
 		}
 		n := *batch
@@ -170,6 +182,6 @@ func postObserve(ctx context.Context, addr, model string, X [][]float64, Y []flo
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lam-replay:", err)
+	lg.Error("fatal", "err", err)
 	os.Exit(1)
 }

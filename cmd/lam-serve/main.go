@@ -12,6 +12,7 @@
 //	         [-layout implicit-left] [-pprof localhost:6060]
 //	         [-online] [-window 512] [-drift-threshold 1.5]
 //	         [-min-samples 64] [-holdout 0.25]
+//	         [-log-format text] [-trace-slow 0]
 //
 // Throughput knobs: -max-batch/-max-delay micro-batch concurrent
 // single-row /predict requests into one compiled-plane batch (bit
@@ -31,7 +32,9 @@
 //	                 model resident (503 while warming; the endpoint a
 //	                 fleet gateway health-checks)
 //	GET  /models   — every stored model version's metadata
-//	GET  /metrics  — request/cache/swap (+ online) counters
+//	GET  /metrics  — Prometheus text exposition (?format=json serves
+//	                 the legacy counter document for one release)
+//	GET  /trace/recent — the last 256 finished request traces
 //	POST /predict  — {"model":"name","x":[…]} or
 //	                 {"model":"name","version":2,"batch":[[…],[…]]}
 //
@@ -58,6 +61,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux the -pprof listener serves
 	"os"
@@ -69,16 +73,21 @@ import (
 	"lam"
 	"lam/internal/online"
 	"lam/internal/serve"
+	"lam/internal/telemetry"
 )
+
+// lg is the process logger, replaced in main once -log-format is
+// parsed.
+var lg = slog.Default()
 
 // servePprof exposes the runtime profiler on its own listener, kept off
 // the API address so profiling endpoints are never internet-facing by
 // accident. The prediction mux is a dedicated ServeMux, so the pprof
 // handlers registered on the DefaultServeMux are reachable only here.
 func servePprof(addr string) {
-	fmt.Fprintf(os.Stderr, "lam-serve: pprof on http://%s/debug/pprof/\n", addr)
+	lg.Info("pprof listening", "url", "http://"+addr+"/debug/pprof/")
 	if err := http.ListenAndServe(addr, nil); err != nil {
-		fmt.Fprintf(os.Stderr, "lam-serve: pprof: %v\n", err)
+		lg.Error("pprof listener failed", "err", err)
 	}
 }
 
@@ -101,7 +110,15 @@ func main() {
 	minSamples := flag.Int("min-samples", 64, "online: windowed samples required before the drift detector may trip")
 	holdout := flag.Float64("holdout", 0.25, "online: fraction of the window held out to judge a retrained model")
 	seed := flag.Int64("seed", 1, "online: seed for retrain splits and model randomness")
+	logFormat := flag.String("log-format", "text", "structured-log output format: text or json")
+	traceSlow := flag.Duration("trace-slow", 0, "log the span tree of any request slower than this (0 disables)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	lg = logger.With("component", "lam-serve")
 
 	lam.SetWorkers(*workers)
 	if *regDir == "" {
@@ -115,13 +132,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "lam-serve: registry %s holds %d model version(s)\n", *regDir, len(metas))
+	lg.Info("registry opened", "dir", *regDir, "versions", len(metas))
 	for _, m := range metas {
-		fmt.Fprintf(os.Stderr, "lam-serve:   %s v%d (%s", m.Name, m.Version, m.Kind)
-		if m.Workload != "" {
-			fmt.Fprintf(os.Stderr, ", %s on %s", m.Workload, m.Machine)
-		}
-		fmt.Fprintln(os.Stderr, ")")
+		lg.Info("stored model", "model", m.Name, "version", m.Version, "kind", m.Kind,
+			"workload", m.Workload, "machine", m.Machine)
 	}
 
 	if *pprofAddr != "" {
@@ -130,25 +144,29 @@ func main() {
 
 	s := serve.New(reg)
 	s.Workers = *workers
+	s.Log = lg
+	s.Tracer.Slow = *traceSlow
+	s.Tracer.Logger = lg
 	if *layoutFlag != "" {
 		layout, err := lam.ParseLayout(*layoutFlag)
 		if err != nil {
 			fatal(err)
 		}
 		s.Layout = layout
-		fmt.Fprintf(os.Stderr, "lam-serve: traversal layout %s\n", layout)
+		lg.Info("traversal layout set", "layout", layout.String())
 	}
 	s.Coalesce = serve.CoalesceConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
 	s.Admit = serve.AdmitConfig{MaxInflight: *maxInflight, Queue: *queueLen}
 	if s.Coalesce.MaxBatch > 1 {
-		fmt.Fprintf(os.Stderr, "lam-serve: coalescing single-row predicts (max batch %d, max delay %s)\n", *maxBatch, *maxDelay)
+		lg.Info("coalescing enabled", "max_batch", *maxBatch, "max_delay", *maxDelay)
 	}
 	if *maxInflight > 0 {
-		fmt.Fprintf(os.Stderr, "lam-serve: admission control on (max inflight %d, queue %d)\n", *maxInflight, *queueLen)
+		lg.Info("admission control enabled", "max_inflight", *maxInflight, "queue", *queueLen)
 	}
 	if *injectLatency > 0 {
 		s.InjectLatency = *injectLatency
-		fmt.Fprintf(os.Stderr, "lam-serve: FAULT INJECTION: +%s per /predict (testing aid, not for production)\n", *injectLatency)
+		lg.Warn("fault injection enabled: added latency per /predict (testing aid, not for production)",
+			"inject_latency", *injectLatency)
 	}
 	if *warm != "" {
 		for _, name := range strings.Split(*warm, ",") {
@@ -161,10 +179,10 @@ func main() {
 		// is resident.
 		go func() {
 			if err := s.Warm(); err != nil {
-				fmt.Fprintf(os.Stderr, "lam-serve: warm: %v (readyz will not report ready)\n", err)
+				lg.Error("warm failed; readyz will not report ready", "err", err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "lam-serve: warmed %d model(s), ready\n", len(s.WarmNames))
+			lg.Info("warmed, ready", "models", len(s.WarmNames))
 		}()
 	}
 	if *onlineOn {
@@ -180,8 +198,8 @@ func main() {
 		})
 		defer plane.Close()
 		s.AttachOnline(plane)
-		fmt.Fprintf(os.Stderr, "lam-serve: online adaptation on (window %d, drift threshold %.2fx, min samples %d)\n",
-			*window, *driftThreshold, *minSamples)
+		lg.Info("online adaptation enabled", "window", *window,
+			"drift_threshold", *driftThreshold, "min_samples", *minSamples)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -202,7 +220,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "lam-serve: listening on %s\n", *addr)
+		lg.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -211,7 +229,7 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
-		fmt.Fprintf(os.Stderr, "lam-serve: shutting down (drain %s)\n", *drain)
+		lg.Info("shutting down", "drain", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -224,6 +242,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lam-serve:", err)
+	lg.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -3,6 +3,7 @@ package gateway
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -65,10 +66,19 @@ type health struct {
 	// the /healthz summary.
 	ejections   atomic.Uint64
 	lastProbeOK atomic.Bool
+
+	// lg and url annotate the state-transition log lines; both
+	// transitions (ejection, readmission) are fleet-membership changes
+	// an operator greps for.
+	lg  *slog.Logger
+	url string
 }
 
-func newHealth(cfg HealthConfig) *health {
-	return &health{cfg: cfg}
+func newHealth(cfg HealthConfig, lg *slog.Logger, url string) *health {
+	if lg == nil {
+		lg = slog.New(slog.DiscardHandler)
+	}
+	return &health{cfg: cfg, lg: lg, url: url}
 }
 
 // reportFailure records one failed probe or one request-level
@@ -81,6 +91,7 @@ func (h *health) reportFailure() {
 	if h.consecFails >= h.cfg.EjectAfter && !h.ejected.Load() {
 		h.ejected.Store(true)
 		h.ejections.Add(1)
+		h.lg.Warn("backend ejected", "backend", h.url, "consecutive_failures", h.consecFails)
 	}
 }
 
@@ -99,6 +110,7 @@ func (h *health) reportProbeSuccess() {
 	if h.consecOKs >= h.cfg.ReadmitAfter {
 		h.consecOKs = 0
 		h.ejected.Store(false)
+		h.lg.Info("backend readmitted", "backend", h.url)
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 func TestHealthStateMachine(t *testing.T) {
-	h := newHealth(HealthConfig{EjectAfter: 3, ReadmitAfter: 2}.withDefaults())
+	h := newHealth(HealthConfig{EjectAfter: 3, ReadmitAfter: 2}.withDefaults(), nil, "http://backend")
 	if !h.live() {
 		t.Fatal("new backend must start live")
 	}

@@ -2,117 +2,97 @@ package gateway
 
 import (
 	"net/http"
-	"sync/atomic"
-	"time"
+
+	"lam/internal/telemetry"
 )
 
-// maxInt64 is an atomic high-water-mark tracker (same idiom as
-// internal/serve).
-type maxInt64 struct{ atomic.Int64 }
-
-func (g *maxInt64) max(v int64) {
-	for {
-		cur := g.Load()
-		if v <= cur || g.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
-
-// routeBucketBoundsNs are the upper bounds (inclusive, nanoseconds) of
-// the routing-decision latency histogram: the time spent picking a
-// backend (hash, candidate walk, bounded-load check) per proxied
-// request, not the proxied round trip itself. Routing is expected in
-// the sub-microsecond range; the tail buckets exist to surface
-// contention regressions.
-var routeBucketBoundsNs = [...]uint64{
-	250,       // 0.25µs
-	1_000,     // 1µs
-	4_000,     // 4µs
-	16_000,    // 16µs
-	64_000,    // 64µs
-	256_000,   // 256µs
-	1_000_000, // 1ms
-}
-
-// numRouteBuckets includes the +Inf overflow bucket.
-const numRouteBuckets = len(routeBucketBoundsNs) + 1
-
-// backendMetrics is one backend's counter set. Counters are atomics:
-// the proxy hot path touches them lock-free.
+// backendMetrics is one backend's counter set. Every field is a handle
+// into the gateway's telemetry registry, labeled backend=<url>; the
+// proxy hot path touches the resolved atomics lock-free.
 type backendMetrics struct {
 	// Requests counts attempts proxied to this backend (a request
 	// retried onto a second backend counts once per backend tried).
-	Requests atomic.Uint64
+	Requests *telemetry.Counter
 	// Retries counts attempts to this backend that were retries — the
 	// request failed or was shed elsewhere first.
-	Retries atomic.Uint64
+	Retries *telemetry.Counter
 	// Failures counts attempts that died in transport (connection
 	// refused/reset, timeout) — the passive ejection signal.
-	Failures atomic.Uint64
+	Failures *telemetry.Counter
 	// Shed429 counts 429 responses received from this backend; each is
 	// a spill-over opportunity for the next ring candidate.
-	Shed429 atomic.Uint64
+	Shed429 *telemetry.Counter
 	// Inflight is the live number of proxied requests outstanding
 	// against this backend — the bounded-load routing signal — with its
 	// high-water mark.
-	Inflight     atomic.Int64
-	InflightPeak maxInt64
+	Inflight     *telemetry.Gauge
+	InflightPeak *telemetry.Gauge
 	// SpillsAway counts requests whose bounded-load check moved them
 	// off this backend while it was their ring primary.
-	SpillsAway atomic.Uint64
+	SpillsAway *telemetry.Counter
 }
 
-// Metrics is the gateway's counter set, exposed at GET /metrics.
+func newBackendMetrics(reg *telemetry.Registry, url string) backendMetrics {
+	l := telemetry.L("backend", url)
+	return backendMetrics{
+		Requests:     reg.Counter("lam_gateway_backend_requests_total", "Proxied attempts per backend.", l),
+		Retries:      reg.Counter("lam_gateway_backend_retries_total", "Retry attempts per backend.", l),
+		Failures:     reg.Counter("lam_gateway_backend_failures_total", "Transport failures per backend.", l),
+		Shed429:      reg.Counter("lam_gateway_backend_shed_429_total", "429 responses received per backend.", l),
+		Inflight:     reg.Gauge("lam_gateway_backend_inflight", "Live proxied requests outstanding per backend.", l),
+		InflightPeak: reg.Gauge("lam_gateway_backend_inflight_peak", "High-water mark of per-backend in-flight requests.", l),
+		SpillsAway:   reg.Counter("lam_gateway_backend_spills_away_total", "Requests moved off this backend by the bounded-load rule.", l),
+	}
+}
+
+// Metrics is the gateway's counter set, exposed at GET /metrics
+// (Prometheus text; ?format=json serves the legacy document).
 type Metrics struct {
 	// PredictRequests / ObserveRequests count client requests by
 	// endpoint (not attempts; one request may try several backends).
-	PredictRequests atomic.Uint64
-	ObserveRequests atomic.Uint64
+	PredictRequests *telemetry.Counter
+	ObserveRequests *telemetry.Counter
 	// Retries counts backend attempts beyond each request's first.
-	Retries atomic.Uint64
+	Retries *telemetry.Counter
 	// Spilled429 counts requests answered by a non-primary backend
 	// after a 429 elsewhere; SpilledFailure the same for transport
 	// failures.
-	Spilled429     atomic.Uint64
-	SpilledFailure atomic.Uint64
+	Spilled429     *telemetry.Counter
+	SpilledFailure *telemetry.Counter
 	// NoBackend counts requests refused with 503 because no live
 	// backend remained to try.
-	NoBackend atomic.Uint64
+	NoBackend *telemetry.Counter
 	// Errors counts requests answered 5xx by the gateway itself
 	// (NoBackend included) — never requests a backend answered.
-	Errors atomic.Uint64
-	// RouteDecisionNs accumulates time spent choosing backends;
-	// RouteDecisions the number of decisions; RouteBuckets the
-	// per-interval histogram counts (cumulated into le_ns form by
-	// /metrics, same convention as internal/serve's predict histogram).
-	RouteDecisionNs atomic.Uint64
-	RouteDecisions  atomic.Uint64
-	RouteBuckets    [numRouteBuckets]atomic.Uint64
+	Errors *telemetry.Counter
+	// RouteLatency is the routing-decision histogram: the time spent
+	// picking a backend (hash, candidate walk, bounded-load check) per
+	// proxied request, not the proxied round trip itself. It shares
+	// telemetry's one bucket ladder with serve's predict histogram.
+	RouteLatency *telemetry.Histogram
 }
 
-// observeRouteLatency records one routing decision.
-func (m *Metrics) observeRouteLatency(d time.Duration) {
-	ns := uint64(d)
-	m.RouteDecisionNs.Add(ns)
-	m.RouteDecisions.Add(1)
-	for i, b := range routeBucketBoundsNs {
-		if ns <= b {
-			m.RouteBuckets[i].Add(1)
-			return
-		}
+func newMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		PredictRequests: reg.Counter("lam_gateway_predict_requests_total", "Client /predict requests received."),
+		ObserveRequests: reg.Counter("lam_gateway_observe_requests_total", "Client /observe requests received."),
+		Retries:         reg.Counter("lam_gateway_retries_total", "Backend attempts beyond each request's first."),
+		Spilled429:      reg.Counter("lam_gateway_spilled_429_total", "Requests answered by a non-primary backend after a 429."),
+		SpilledFailure:  reg.Counter("lam_gateway_spilled_failure_total", "Requests answered by a non-primary backend after a transport failure."),
+		NoBackend:       reg.Counter("lam_gateway_no_backend_total", "Requests refused because no live backend remained."),
+		Errors:          reg.Counter("lam_gateway_errors_total", "Requests answered 5xx by the gateway itself."),
+		RouteLatency:    reg.Histogram("lam_gateway_route_latency_seconds", "Routing-decision latency (backend selection, not the proxied round trip)."),
 	}
-	m.RouteBuckets[numRouteBuckets-1].Add(1)
 }
 
-// routeBucket is one histogram entry in the /metrics JSON; LeNs nil
-// marks the +Inf bucket.
+// routeBucket is one histogram entry in the legacy /metrics JSON; LeNs
+// nil marks the +Inf bucket.
 type routeBucket struct {
 	LeNs  *uint64 `json:"le_ns"`
 	Count uint64  `json:"count"`
 }
 
-// backendSnapshot is one backend's row in the /metrics document.
+// backendSnapshot is one backend's row in the legacy /metrics JSON.
 type backendSnapshot struct {
 	URL          string `json:"url"`
 	Live         bool   `json:"live"`
@@ -126,7 +106,10 @@ type backendSnapshot struct {
 	SpillsAway   uint64 `json:"spills_away"`
 }
 
-// metricsSnapshot is the JSON shape of the gateway's GET /metrics.
+// metricsSnapshot is the JSON shape of GET /metrics?format=json — the
+// pre-telemetry document, kept for one release so existing scrapers
+// and the CI jq probes keep working while they migrate to the
+// Prometheus exposition.
 type metricsSnapshot struct {
 	PredictRequests uint64            `json:"predict_requests"`
 	ObserveRequests uint64            `json:"observe_requests"`
@@ -141,17 +124,16 @@ type metricsSnapshot struct {
 	Backends        []backendSnapshot `json:"backends"`
 }
 
-func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (g *Gateway) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	m := &g.Metrics
-	buckets := make([]routeBucket, numRouteBuckets)
-	var cum uint64
-	for i := range routeBucketBoundsNs {
-		le := routeBucketBoundsNs[i]
-		cum += m.RouteBuckets[i].Load()
-		buckets[i] = routeBucket{LeNs: &le, Count: cum}
+	bounds := m.RouteLatency.BoundsNs()
+	cum := m.RouteLatency.Cumulative()
+	buckets := make([]routeBucket, len(cum))
+	for i := range bounds {
+		le := bounds[i]
+		buckets[i] = routeBucket{LeNs: &le, Count: cum[i]}
 	}
-	cum += m.RouteBuckets[numRouteBuckets-1].Load()
-	buckets[numRouteBuckets-1] = routeBucket{Count: cum}
+	buckets[len(cum)-1] = routeBucket{Count: cum[len(cum)-1]}
 	snap := metricsSnapshot{
 		PredictRequests: m.PredictRequests.Load(),
 		ObserveRequests: m.ObserveRequests.Load(),
@@ -160,8 +142,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SpilledFailure:  m.SpilledFailure.Load(),
 		NoBackend:       m.NoBackend.Load(),
 		Errors:          m.Errors.Load(),
-		RouteDecisionNs: m.RouteDecisionNs.Load(),
-		RouteDecisions:  m.RouteDecisions.Load(),
+		RouteDecisionNs: m.RouteLatency.SumNs(),
+		RouteDecisions:  m.RouteLatency.Count(),
 		RouteBuckets:    buckets,
 		Backends:        make([]backendSnapshot, len(g.backends)),
 	}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"lam/internal/registry"
+	"lam/internal/telemetry"
 )
 
 // maxRequestBytes bounds a proxied request body — the same 64 MiB cap
@@ -33,6 +35,10 @@ const maxBackends = 64
 // deprioritized: a replica advertising a huge backoff must not be able
 // to write itself out of the fleet.
 const cooldownCap = 5 * time.Second
+
+// traceRingSize is the number of finished traces GET /trace/recent can
+// return (same bound as internal/serve).
+const traceRingSize = 256
 
 // Config tunes the gateway. The zero value gets defaults in New.
 type Config struct {
@@ -53,6 +59,12 @@ type Config struct {
 	Random bool
 	// Seed seeds the Random mode's generator; 0 means 1.
 	Seed int64
+	// Logger receives the gateway's structured log output (backend
+	// ejections/readmissions, slow traces). Nil discards.
+	Logger *slog.Logger
+	// TraceSlow, when positive, logs the span tree of any proxied
+	// request slower than it (the -trace-slow flag).
+	TraceSlow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,8 +104,17 @@ type Gateway struct {
 	ring     *ring
 	cfg      Config
 	// Metrics is the gateway's counter set (GET /metrics). Exported so
-	// tests and embedders can read it.
+	// tests and embedders can read it; the handles resolve into
+	// Telemetry.
 	Metrics Metrics
+	// Telemetry is the metric registry backing GET /metrics.
+	Telemetry *telemetry.Registry
+	// Tracer records finished request traces (GET /trace/recent) and
+	// logs slow ones.
+	Tracer *telemetry.Recorder
+	// Log is the gateway's structured logger (Config.Logger, or a
+	// discard logger when unset).
+	Log *slog.Logger
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -111,7 +132,20 @@ func New(urls []string, cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: %d backends exceeds the maximum of %d", len(urls), maxBackends)
 	}
 	cfg = cfg.withDefaults()
-	g := &Gateway{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.New(slog.DiscardHandler)
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		Telemetry: telemetry.NewRegistry(),
+		Tracer:    telemetry.NewRecorder(traceRingSize),
+		Log:       lg,
+	}
+	g.Metrics = newMetrics(g.Telemetry)
+	g.Tracer.Slow = cfg.TraceSlow
+	g.Tracer.Logger = lg
 	seen := make(map[string]bool, len(urls))
 	normalized := make([]string, 0, len(urls))
 	for _, u := range urls {
@@ -139,9 +173,30 @@ func New(urls []string, cfg Config) (*Gateway, error) {
 					IdleConnTimeout:     90 * time.Second,
 				},
 			},
-			health: newHealth(cfg.Health),
+			health:  newHealth(cfg.Health, lg, u),
+			metrics: newBackendMetrics(g.Telemetry, u),
 		})
 	}
+	// Liveness and ejection counts live in the health state machine;
+	// collectors read them at scrape time instead of mirroring.
+	g.Telemetry.CollectFunc("lam_gateway_backend_up",
+		"Backend liveness (1 live, 0 ejected).", telemetry.TypeGauge,
+		func(emit func([]telemetry.Label, float64)) {
+			for _, b := range g.backends {
+				v := 0.0
+				if b.health.live() {
+					v = 1
+				}
+				emit([]telemetry.Label{telemetry.L("backend", b.url)}, v)
+			}
+		})
+	g.Telemetry.CollectFunc("lam_gateway_backend_ejections_total",
+		"Healthy-to-ejected transitions per backend.", telemetry.TypeCounter,
+		func(emit func([]telemetry.Label, float64)) {
+			for _, b := range g.backends {
+				emit([]telemetry.Label{telemetry.L("backend", b.url)}, float64(b.health.ejections.Load()))
+			}
+		})
 	g.ring = newRing(normalized)
 	ctx, cancel := context.WithCancel(context.Background())
 	g.cancel = cancel
@@ -164,7 +219,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /models", g.handleModels)
-	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.Handle("GET /metrics", g.Telemetry.Handler(g.handleMetricsJSON))
+	mux.Handle("GET /trace/recent", g.Tracer.Handler())
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
 		g.Metrics.PredictRequests.Add(1)
 		g.proxy(w, r, "/predict", true)
@@ -198,7 +254,7 @@ type modelPeek struct {
 // decision proper and is what the route-latency histogram measures.
 func (g *Gateway) tryOrder(model string, buf []int) []int {
 	start := time.Now()
-	defer func() { g.Metrics.observeRouteLatency(time.Since(start)) }()
+	defer func() { g.Metrics.RouteLatency.Observe(time.Since(start)) }()
 
 	if g.cfg.Random {
 		g.rngMu.Lock()
@@ -279,6 +335,16 @@ func rotate(live []int, off int) {
 // written to a live connection, so an observation is never ingested
 // twice.
 func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string, idempotent bool) {
+	// The gateway is the trace edge: it adopts the client's X-Lam-Trace
+	// ID or mints one, echoes it on the response, and forwards it on
+	// every backend attempt so the replica's spans join the same trace.
+	tr := g.Tracer.StartFromHeader(r.Header, strings.TrimPrefix(endpoint, "/"))
+	if tr != nil {
+		w.Header().Set(telemetry.TraceHeader, tr.ID().String())
+		defer g.Tracer.Finish(tr)
+	}
+	ctx := telemetry.WithTrace(r.Context(), tr)
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -295,9 +361,14 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string,
 	// authoritative 400 so error responses are byte-identical too.
 	var peek modelPeek
 	_ = json.Unmarshal(body, &peek)
+	// Version is unknown at the gateway: routing keys on the name; the
+	// replica resolves (and records) the served version.
+	tr.SetModel(peek.Model, 0)
 
 	var orderBuf [maxBackends]int
+	rsp := telemetry.StartSpan(ctx, "route")
 	order := g.tryOrder(peek.Model, orderBuf[:])
+	rsp.End()
 	if len(order) == 0 {
 		g.Metrics.NoBackend.Add(1)
 		g.Metrics.Errors.Add(1)
@@ -319,7 +390,9 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string,
 			b.metrics.Retries.Add(1)
 			g.Metrics.Retries.Add(1)
 		}
-		resp, err := g.attempt(r.Context(), b, endpoint, body, r.Header.Get("Content-Type"))
+		psp := telemetry.StartSpan(ctx, "proxy").Detail(b.url)
+		resp, err := g.attempt(ctx, b, endpoint, body, r.Header.Get("Content-Type"))
+		psp.End()
 		if err != nil {
 			b.metrics.Failures.Add(1)
 			b.health.reportFailure()
@@ -368,7 +441,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string,
 // close.
 func (g *Gateway) attempt(ctx context.Context, b *backend, endpoint string, body []byte, contentType string) (*http.Response, error) {
 	inflight := b.metrics.Inflight.Add(1)
-	b.metrics.InflightPeak.max(inflight)
+	b.metrics.InflightPeak.SetMax(inflight)
 	defer b.metrics.Inflight.Add(-1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+endpoint, bytes.NewReader(body))
 	if err != nil {
@@ -376,6 +449,9 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, endpoint string, body
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		req.Header.Set(telemetry.TraceHeader, tr.ID().String())
 	}
 	req.ContentLength = int64(len(body))
 	return b.client.Do(req)

@@ -1,0 +1,136 @@
+package online
+
+import (
+	"math"
+	"sort"
+
+	"lam/internal/ml"
+)
+
+// apeWindow is a bounded ring of absolute-percentage-error values for
+// one served (model, version). Like window it is unsynchronised: the
+// model's state lock guards it. A separate ring per version — rather
+// than a version tag on the main window — keeps the retraining plane
+// untouched while giving /metrics the per-version accuracy series
+// (lam_served_ape{model,version}) a progressive-delivery controller
+// compares across a canary and its baseline.
+type apeWindow struct {
+	buf   []float64
+	next  int
+	count int
+}
+
+func newAPEWindow(capacity int) *apeWindow {
+	return &apeWindow{buf: make([]float64, capacity)}
+}
+
+func (w *apeWindow) add(ape float64) {
+	w.buf[w.next] = ape
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// quantiles returns the q-quantiles (0..1, nearest-rank) of the held
+// values. Returns nil when empty.
+func (w *apeWindow) quantiles(qs ...float64) []float64 {
+	if w.count == 0 {
+		return nil
+	}
+	vals := make([]float64, w.count)
+	copy(vals, w.buf[:w.count])
+	sort.Float64s(vals)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(vals) {
+			idx = len(vals) - 1
+		}
+		out[i] = vals[idx]
+	}
+	return out
+}
+
+// keepAPEVersions bounds the per-version rings kept per model: the
+// serving fleet only ever compares a handful of live versions (the
+// incumbent, a canary, and recent history); rings for long-retired
+// versions would grow the scrape without informing anyone.
+const keepAPEVersions = 4
+
+// ServedAPE is one (model, version)'s served-accuracy summary: APE
+// quantiles in percent over the version's recent observations.
+type ServedAPE struct {
+	Model   string  `json:"model"`
+	Version int     `json:"version"`
+	Count   int     `json:"count"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+}
+
+// ServedAPE reports every tracked (model, version)'s quantiles, sorted
+// by model then version — the backing data of lam_served_ape.
+func (p *Plane) ServedAPE() []ServedAPE {
+	p.mu.Lock()
+	type entry struct {
+		name string
+		st   *modelState
+	}
+	entries := make([]entry, 0, len(p.models))
+	for name, st := range p.models {
+		entries = append(entries, entry{name, st})
+	}
+	p.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	var out []ServedAPE
+	for _, e := range entries {
+		e.st.mu.Lock()
+		versions := make([]int, 0, len(e.st.ape))
+		for v := range e.st.ape {
+			versions = append(versions, v)
+		}
+		sort.Ints(versions)
+		for _, v := range versions {
+			w := e.st.ape[v]
+			if qs := w.quantiles(0.5, 0.9, 0.99); qs != nil {
+				out = append(out, ServedAPE{
+					Model: e.name, Version: v, Count: w.count,
+					P50: qs[0], P90: qs[1], P99: qs[2],
+				})
+			}
+		}
+		e.st.mu.Unlock()
+	}
+	return out
+}
+
+// recordAPELocked feeds one observation's APE into the ring for the
+// served version, creating the ring (and evicting the oldest version
+// past keepAPEVersions) on first sight. Caller holds st.mu.
+func (st *modelState) recordAPELocked(version, capacity int, observed, predicted float64) {
+	if st.ape == nil {
+		st.ape = make(map[int]*apeWindow)
+	}
+	w := st.ape[version]
+	if w == nil {
+		if len(st.ape) >= keepAPEVersions {
+			oldest := -1
+			for v := range st.ape {
+				if oldest < 0 || v < oldest {
+					oldest = v
+				}
+			}
+			delete(st.ape, oldest)
+		}
+		w = newAPEWindow(capacity)
+		st.ape[version] = w
+	}
+	if ape, ok := ml.APE(observed, predicted); ok {
+		w.add(ape)
+	}
+}

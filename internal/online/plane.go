@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"lam/internal/machine"
 	"lam/internal/ml"
 	"lam/internal/registry"
+	"lam/internal/telemetry"
 	"lam/internal/xmath"
 )
 
@@ -119,6 +121,9 @@ type modelState struct {
 	window     *window
 	det        detector
 	retraining bool
+	// ape holds one APE ring per served version (at most
+	// keepAPEVersions), the backing data of lam_served_ape.
+	ape map[int]*apeWindow
 
 	trips, started, published, discarded, errs uint64
 	lastTripMAPE                               float64
@@ -146,6 +151,12 @@ type Plane struct {
 	// retrained version is published — internal/serve hooks its hot
 	// swap here. Set it before the first Observe.
 	OnPublish func(meta registry.Meta)
+	// Tracer, if set, records each background retrain as a trace
+	// (spans: fit, judge, publish) in the process's /trace/recent ring.
+	// serve.AttachOnline defaults it to the server's recorder.
+	Tracer *telemetry.Recorder
+	// Log, if set, receives retrain outcomes as structured log lines.
+	Log *slog.Logger
 
 	mu     sync.Mutex
 	models map[string]*modelState
@@ -224,6 +235,7 @@ func (p *Plane) Observe(m *registry.Model, X [][]float64, predicted, observed []
 	defer st.mu.Unlock()
 	for i := range X {
 		st.window.add(Sample{X: X[i], Predicted: predicted[i], Observed: observed[i]})
+		st.recordAPELocked(m.Meta.Version, p.cfg.WindowSize, observed[i], predicted[i])
 	}
 	p.observations.Add(uint64(len(X)))
 	ws := st.window.stats()
@@ -337,7 +349,26 @@ func (p *Plane) startRetrainLocked(st *modelState, m *registry.Model) bool {
 // by then the window is also fuller than at the failed attempt.
 func (p *Plane) retrain(st *modelState, old *registry.Model) {
 	defer p.wg.Done()
-	published, err := p.retrainOnce(p.ctx, st, old)
+	tr := p.Tracer.Start("retrain")
+	tr.SetModel(old.Meta.Name, old.Meta.Version)
+	ctx := telemetry.WithTrace(p.ctx, tr)
+	published, err := p.retrainOnce(ctx, st, old)
+	p.Tracer.Finish(tr)
+	if p.Log != nil {
+		switch {
+		case err != nil && errors.Is(err, lamerr.ErrCancelled):
+			// Shutdown, not an outcome.
+		case err != nil:
+			p.Log.Warn("retrain failed", "model", old.Meta.Name, "version", old.Meta.Version,
+				"trace_id", tr.ID().String(), "error", err)
+		case published:
+			p.Log.Info("retrain published", "model", old.Meta.Name, "from_version", old.Meta.Version,
+				"trace_id", tr.ID().String())
+		default:
+			p.Log.Info("retrain discarded", "model", old.Meta.Name, "version", old.Meta.Version,
+				"trace_id", tr.ID().String())
+		}
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.retraining = false
@@ -407,7 +438,9 @@ func (p *Plane) retrainOnce(ctx context.Context, st *modelState, old *registry.M
 		}
 	}
 
+	jsp := telemetry.StartSpan(ctx, "judge")
 	oldMAPE, err := modelMAPE(ctx, old, holdX, holdY)
+	jsp.End()
 	if err != nil {
 		return false, err
 	}
@@ -417,6 +450,10 @@ func (p *Plane) retrainOnce(ctx context.Context, st *modelState, old *registry.M
 	meta.BaseSize = baseSize
 	var publish func() (registry.Meta, error)
 	var newMAPE float64
+	// The fit span covers training the candidate and judging it on the
+	// holdout; it ends only on the success path — an error abandons the
+	// whole trace's usefulness anyway.
+	fsp := telemetry.StartSpan(ctx, "fit")
 	switch old.Meta.Kind {
 	case registry.KindHybrid:
 		am, err := registry.AnalyticalFor(old.Meta)
@@ -448,6 +485,7 @@ func (p *Plane) retrainOnce(ctx context.Context, st *modelState, old *registry.M
 	default:
 		return false, fmt.Errorf("online: cannot retrain kind %q", old.Meta.Kind)
 	}
+	fsp.End()
 
 	if newMAPE >= oldMAPE {
 		st.mu.Lock()
@@ -458,7 +496,9 @@ func (p *Plane) retrainOnce(ctx context.Context, st *modelState, old *registry.M
 	meta.TestMAPE = newMAPE
 	meta.Notes = fmt.Sprintf("online retrain of v%d: %d window + %d base samples, holdout MAPE %.2f%% (was %.2f%%)",
 		old.Meta.Version, len(samples)-holdN, meta.TrainSize-(len(samples)-holdN), newMAPE, oldMAPE)
+	psp := telemetry.StartSpan(ctx, "publish")
 	newMeta, err := publish()
+	psp.End()
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"lam/internal/lamerr"
 	"lam/internal/machine"
 	"lam/internal/ml"
+	"lam/internal/telemetry"
 )
 
 // Model kinds stored in Meta.Kind.
@@ -499,6 +501,20 @@ func (r *Registry) Load(name string, version int) (*Model, error) {
 		return nil, fmt.Errorf("registry: %s v%d: %w", name, version, err)
 	}
 	return &Model{Meta: meta, hybrid: p.Hybrid, regressor: p.Regressor}, nil
+}
+
+// LoadCtx is Load with the artifact read and decode recorded as an
+// "artifact_load" span on ctx's request trace (no-op without one) —
+// the cold-start cost a slow-trace report attributes to the registry
+// rather than to scoring.
+func (r *Registry) LoadCtx(ctx context.Context, name string, version int) (*Model, error) {
+	sp := telemetry.StartSpan(ctx, "artifact_load")
+	m, err := r.Load(name, version)
+	if err == nil {
+		sp.Detail(m.Meta.Name + "@v" + strconv.Itoa(m.Meta.Version))
+	}
+	sp.End()
+	return m, err
 }
 
 // ArtifactInfo inspects one stored version's artifact — format, payload

@@ -64,7 +64,7 @@ func (a *admission) admit(ctx context.Context) (func(), error) {
 			return nil, errOverloaded
 		}
 		if a.metrics.QueueDepth.CompareAndSwap(d, d+1) {
-			a.metrics.QueuePeakDepth.max(d + 1)
+			a.metrics.QueuePeakDepth.SetMax(d + 1)
 			break
 		}
 	}

@@ -102,7 +102,7 @@ func TestServeBatchZeroPerRowAllocationsOnlineEnabled(t *testing.T) {
 	ctx := context.Background()
 	// Populate the model's observation window so the plane is in its
 	// steady serving state, not a cold map.
-	lm, err := srv.load("grid-et", 0)
+	lm, err := srv.load(ctx, "grid-et", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestServeBatchZeroPerRowAllocationsOnlineEnabled(t *testing.T) {
 		out := ml.GetScratch(len(rows))
 		ml.PutScratch(out)
 		return testing.AllocsPerRun(50, func() {
-			m, err := srv.load("grid-et", 0)
+			m, err := srv.load(ctx, "grid-et", 0)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -9,6 +9,7 @@ import (
 	"lam/internal/lamerr"
 	"lam/internal/ml"
 	"lam/internal/registry"
+	"lam/internal/telemetry"
 )
 
 // CoalesceConfig tunes micro-batch coalescing of single-row /predict
@@ -79,6 +80,9 @@ func newCoalescer(cfg CoalesceConfig, m *Metrics) *coalescer {
 // Cancellation abandons the wait, never the batch: the row is scored
 // and discarded, so batch-mates are unaffected.
 func (c *coalescer) predict(ctx context.Context, m *registry.Model, x []float64) (float64, error) {
+	// The coalesce span is the queue wait: enqueue to fan-out. It is
+	// what -trace-slow shows when MaxDelay dominates a request.
+	defer telemetry.StartSpan(ctx, "coalesce").End()
 	ch := make(chan flushResult, 1)
 	c.mu.Lock()
 	b := c.pending[m]
@@ -136,7 +140,7 @@ func (c *coalescer) flushTimer(m *registry.Model, b *pendingBatch) {
 func (c *coalescer) flush(m *registry.Model, b *pendingBatch) {
 	c.metrics.CoalesceFlushes.Add(1)
 	c.metrics.CoalesceRows.Add(uint64(len(b.rows)))
-	c.metrics.CoalesceMaxFlush.max(uint64(len(b.rows)))
+	c.metrics.CoalesceMaxFlush.SetMax(int64(len(b.rows)))
 	buf := ml.GetScratch(len(b.rows))
 	defer ml.PutScratch(buf)
 	if err := m.PredictBatchInto(context.Background(), b.rows, *buf); err == nil {

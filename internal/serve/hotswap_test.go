@@ -354,7 +354,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("observe: %d (%s)", obs.StatusCode, body)
 	}
 
-	r, err := http.Get(ts.URL + "/metrics")
+	r, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,137 +2,113 @@ package serve
 
 import (
 	"net/http"
-	"sync/atomic"
-	"time"
 
 	"lam/internal/online"
+	"lam/internal/telemetry"
 )
 
-// maxUint64 is an atomic high-water-mark tracker.
-type maxUint64 struct{ atomic.Uint64 }
-
-func (g *maxUint64) max(v uint64) {
-	for {
-		cur := g.Load()
-		if v <= cur || g.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
-
-// maxInt64 is an atomic high-water-mark tracker for signed gauges.
-type maxInt64 struct{ atomic.Int64 }
-
-func (g *maxInt64) max(v int64) {
-	for {
-		cur := g.Load()
-		if v <= cur || g.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
-
-// latencyBucketBoundsNs are the upper bounds (inclusive, nanoseconds)
-// of the /predict latency histogram; the final implicit bucket is
-// +Inf. Quarter-millisecond through one second in 4x steps covers
-// everything from a coalesced cache-hot single row to a worst-case
-// cold batch.
-var latencyBucketBoundsNs = [...]uint64{
-	250_000,       // 0.25ms
-	1_000_000,     // 1ms
-	4_000_000,     // 4ms
-	16_000_000,    // 16ms
-	64_000_000,    // 64ms
-	256_000_000,   // 256ms
-	1_000_000_000, // 1s
-}
-
-// numLatencyBuckets includes the +Inf overflow bucket.
-const numLatencyBuckets = len(latencyBucketBoundsNs) + 1
-
-// Metrics is the server's counter set, exposed as a flat expvar-style
-// JSON document at GET /metrics. Counters are atomics: the predict hot
-// path increments them lock-free and allocation-free.
+// Metrics is the server's counter set. Every field is a handle into
+// the server's telemetry.Registry, resolved once at construction: the
+// predict hot path increments them lock-free and allocation-free, and
+// GET /metrics renders the same slots as Prometheus text (or the
+// legacy JSON document at /metrics?format=json).
 type Metrics struct {
 	// PredictRequests counts POST /predict requests (single and batch).
-	PredictRequests atomic.Uint64
+	PredictRequests *telemetry.Counter
 	// PredictBatchRequests counts the batched subset.
-	PredictBatchRequests atomic.Uint64
+	PredictBatchRequests *telemetry.Counter
 	// PredictRows counts scored rows across single and batch requests.
-	PredictRows atomic.Uint64
+	PredictRows *telemetry.Counter
 	// PredictErrors counts /predict requests answered with an error.
 	// Shed requests (429) are deliberate and counted in Shed instead.
-	PredictErrors atomic.Uint64
-	// PredictLatencyNs accumulates wall time spent in /predict
-	// handling (decode→encode); divide by PredictRequests for the mean.
-	PredictLatencyNs atomic.Uint64
-	// PredictLatencyBuckets is the /predict latency histogram. Stored
-	// counts are per-interval (bucket i counts requests in
-	// (latencyBucketBoundsNs[i-1], latencyBucketBoundsNs[i]]; the last
-	// bucket is the +Inf overflow) so the hot path is one increment;
-	// the /metrics JSON accumulates them into cumulative
-	// Prometheus-style le_ns counts.
-	PredictLatencyBuckets [numLatencyBuckets]atomic.Uint64
+	PredictErrors *telemetry.Counter
+	// PredictLatency is the /predict wall-time histogram
+	// (decode→encode), on the shared telemetry bucket ladder.
+	PredictLatency *telemetry.Histogram
 	// ObserveRequests / ObserveRows mirror the ingest endpoint.
-	ObserveRequests atomic.Uint64
-	ObserveRows     atomic.Uint64
-	ObserveErrors   atomic.Uint64
+	ObserveRequests *telemetry.Counter
+	ObserveRows     *telemetry.Counter
+	ObserveErrors   *telemetry.Counter
 	// ModelCacheHits / Misses count resolved-model lookups served from
 	// memory vs. loaded from disk (latest pointer and pinned cache).
-	ModelCacheHits   atomic.Uint64
-	ModelCacheMisses atomic.Uint64
+	ModelCacheHits   *telemetry.Counter
+	ModelCacheMisses *telemetry.Counter
 	// ModelCacheEvictions counts pinned-cache evictions.
-	ModelCacheEvictions atomic.Uint64
+	ModelCacheEvictions *telemetry.Counter
 	// ModelSwaps counts latest-pointer replacements — each is one hot
 	// swap of a newly published version.
-	ModelSwaps atomic.Uint64
+	ModelSwaps *telemetry.Counter
 
 	// CoalescedRequests counts single-row /predict requests that went
 	// through the micro-batch coalescer (every single when coalescing
 	// is on).
-	CoalescedRequests atomic.Uint64
+	CoalescedRequests *telemetry.Counter
 	// CoalesceFlushes counts scored batches; CoalesceRows the rows in
 	// them. CoalesceRows / CoalesceFlushes is the mean flush size — the
 	// number to watch when tuning MaxBatch/MaxDelay.
-	CoalesceFlushes atomic.Uint64
-	CoalesceRows    atomic.Uint64
+	CoalesceFlushes *telemetry.Counter
+	CoalesceRows    *telemetry.Counter
 	// CoalesceMaxFlush is the largest flush observed; it can never
 	// exceed the configured MaxBatch.
-	CoalesceMaxFlush maxUint64
+	CoalesceMaxFlush *telemetry.Gauge
 
 	// Shed counts requests rejected with 429 because both the in-flight
 	// budget and the wait queue were full.
-	Shed atomic.Uint64
+	Shed *telemetry.Counter
 	// QueueDepth is the live number of requests waiting for an
 	// in-flight slot; QueuePeakDepth its high-water mark. The depth can
 	// never exceed the configured Queue.
-	QueueDepth     atomic.Int64
-	QueuePeakDepth maxInt64
+	QueueDepth     *telemetry.Gauge
+	QueuePeakDepth *telemetry.Gauge
 }
 
-// observePredictLatency records one /predict round into the total and
-// the histogram.
-func (m *Metrics) observePredictLatency(d time.Duration) {
-	ns := uint64(d)
-	m.PredictLatencyNs.Add(ns)
-	for i, b := range latencyBucketBoundsNs {
-		if ns <= b {
-			m.PredictLatencyBuckets[i].Add(1)
-			return
-		}
+// newMetrics registers every serve-level family on reg and returns the
+// resolved handles.
+func newMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		PredictRequests:      reg.Counter("lam_predict_requests_total", "POST /predict requests (single and batch)"),
+		PredictBatchRequests: reg.Counter("lam_predict_batch_requests_total", "Batched /predict requests"),
+		PredictRows:          reg.Counter("lam_predict_rows_total", "Rows scored across single and batch /predict requests"),
+		PredictErrors:        reg.Counter("lam_predict_errors_total", "/predict requests answered with an error (429 sheds counted separately)"),
+		PredictLatency:       reg.Histogram("lam_predict_latency_seconds", "/predict wall time, decode to encode"),
+		ObserveRequests:      reg.Counter("lam_observe_requests_total", "POST /observe requests"),
+		ObserveRows:          reg.Counter("lam_observe_rows_total", "Observations ingested"),
+		ObserveErrors:        reg.Counter("lam_observe_errors_total", "/observe requests answered with an error"),
+		ModelCacheHits:       reg.Counter("lam_model_cache_hits_total", "Model resolutions served from memory"),
+		ModelCacheMisses:     reg.Counter("lam_model_cache_misses_total", "Model resolutions that loaded from disk"),
+		ModelCacheEvictions:  reg.Counter("lam_model_cache_evictions_total", "Pinned-cache evictions"),
+		ModelSwaps:           reg.Counter("lam_model_swaps_total", "Hot swaps of a newly published version into the latest pointer"),
+		CoalescedRequests:    reg.Counter("lam_coalesced_requests_total", "Single-row /predict requests that went through the coalescer"),
+		CoalesceFlushes:      reg.Counter("lam_coalesce_flushes_total", "Coalesced batches scored"),
+		CoalesceRows:         reg.Counter("lam_coalesce_rows_total", "Rows scored inside coalesced batches"),
+		CoalesceMaxFlush:     reg.Gauge("lam_coalesce_max_flush", "Largest coalesced flush observed"),
+		Shed:                 reg.Counter("lam_shed_total", "Requests rejected 429: in-flight and queue budgets exhausted"),
+		QueueDepth:           reg.Gauge("lam_queue_depth", "Requests currently waiting for an in-flight slot"),
+		QueuePeakDepth:       reg.Gauge("lam_queue_peak_depth", "High-water mark of the admission wait queue"),
 	}
-	m.PredictLatencyBuckets[numLatencyBuckets-1].Add(1)
 }
 
-// latencyBucket is one histogram entry in the /metrics JSON: Count is
-// cumulative — the number of requests that took <= LeNs. LeNs nil
-// marks the +Inf bucket, whose count equals the total request count.
+// modelTelemetry is the per-(model, version) labeled series bundle,
+// resolved once per loaded model and cached keyed by the loaded
+// *registry.Model — a pointer-keyed sync.Map lookup, so the hot path
+// pays no per-request allocation for labels.
+type modelTelemetry struct {
+	ok   *telemetry.Counter
+	err  *telemetry.Counter
+	rows *telemetry.Counter
+}
+
+// latencyBucket is one histogram entry in the legacy /metrics JSON:
+// Count is cumulative — the number of requests that took <= LeNs. LeNs
+// nil marks the +Inf bucket, whose count equals the total request
+// count. Bounds come from the shared telemetry ladder.
 type latencyBucket struct {
 	LeNs  *uint64 `json:"le_ns"`
 	Count uint64  `json:"count"`
 }
 
-// metricsSnapshot is the JSON shape of GET /metrics. Request counters
+// metricsSnapshot is the JSON shape of GET /metrics?format=json — the
+// pre-telemetry document, kept for one release. Request counters
 // always present; the online section appears when the plane is
 // attached.
 type metricsSnapshot struct {
@@ -153,7 +129,7 @@ type metricsSnapshot struct {
 	CoalescedRequests uint64 `json:"coalesced_requests"`
 	CoalesceFlushes   uint64 `json:"coalesce_flushes"`
 	CoalesceRows      uint64 `json:"coalesce_rows"`
-	CoalesceMaxFlush  uint64 `json:"coalesce_max_flush"`
+	CoalesceMaxFlush  int64  `json:"coalesce_max_flush"`
 	Shed              uint64 `json:"shed"`
 	QueueDepth        int64  `json:"queue_depth"`
 	QueuePeakDepth    int64  `json:"queue_peak_depth"`
@@ -161,23 +137,24 @@ type metricsSnapshot struct {
 	Online *online.Counters `json:"online,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON serves the legacy JSON document, dispatched by the
+// telemetry handler on /metrics?format=json.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	m := &s.Metrics
-	buckets := make([]latencyBucket, numLatencyBuckets)
-	var cum uint64
-	for i := range latencyBucketBoundsNs {
-		le := latencyBucketBoundsNs[i]
-		cum += m.PredictLatencyBuckets[i].Load()
-		buckets[i] = latencyBucket{LeNs: &le, Count: cum}
+	bounds := m.PredictLatency.BoundsNs()
+	cum := m.PredictLatency.Cumulative()
+	buckets := make([]latencyBucket, len(cum))
+	for i := range bounds {
+		le := bounds[i]
+		buckets[i] = latencyBucket{LeNs: &le, Count: cum[i]}
 	}
-	cum += m.PredictLatencyBuckets[numLatencyBuckets-1].Load()
-	buckets[numLatencyBuckets-1] = latencyBucket{Count: cum}
+	buckets[len(cum)-1] = latencyBucket{Count: cum[len(cum)-1]}
 	snap := metricsSnapshot{
 		PredictRequests:       m.PredictRequests.Load(),
 		PredictBatchRequests:  m.PredictBatchRequests.Load(),
 		PredictRows:           m.PredictRows.Load(),
 		PredictErrors:         m.PredictErrors.Load(),
-		PredictLatencyNs:      m.PredictLatencyNs.Load(),
+		PredictLatencyNs:      m.PredictLatency.SumNs(),
 		PredictLatencyBuckets: buckets,
 		ObserveRequests:       m.ObserveRequests.Load(),
 		ObserveRows:           m.ObserveRows.Load(),

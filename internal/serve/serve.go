@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +19,7 @@ import (
 	"lam/internal/ml"
 	"lam/internal/online"
 	"lam/internal/registry"
+	"lam/internal/telemetry"
 )
 
 // Server serves predictions from one registry.
@@ -31,9 +35,20 @@ type Server struct {
 	// already-quantized model — fails its load loudly rather than
 	// serving with a silently different speed/accuracy profile.
 	Layout ml.Layout
-	// Metrics is the server's counter set (GET /metrics). Zero value
-	// ready; exported so tests and embedders can read it.
+	// Metrics is the server's counter set (GET /metrics), handles into
+	// Telemetry resolved by New; exported so tests and embedders can
+	// read it.
 	Metrics Metrics
+	// Telemetry is the metric registry behind Metrics and the
+	// Prometheus text exposition at GET /metrics. Created by New.
+	Telemetry *telemetry.Registry
+	// Tracer records per-request traces into a bounded ring (GET
+	// /trace/recent). Created by New; set Slow and Logger before
+	// Handler to enable slow-trace logging (-trace-slow).
+	Tracer *telemetry.Recorder
+	// Log, when set, receives the server's structured log lines (hot
+	// swaps); nil keeps the server silent.
+	Log *slog.Logger
 	// Coalesce enables micro-batch coalescing of single-row /predict
 	// requests when MaxBatch > 1 (see CoalesceConfig). Set before
 	// Handler; the zero value leaves coalescing off.
@@ -73,11 +88,70 @@ type Server struct {
 	// takes it.
 	mu    sync.RWMutex
 	cache map[string]*registry.Model // key: name@version
+
+	// teleMu guards modelTele, the per-(model, version) labeled series
+	// cache. The predict fast path is one RLock + struct-keyed map
+	// lookup — no allocation; registration happens once per loaded
+	// version.
+	teleMu    sync.RWMutex
+	modelTele map[modelKey]*modelTelemetry
 }
+
+// modelKey identifies one (model, version) for the labeled-series
+// cache without retaining the loaded model itself.
+type modelKey struct {
+	name    string
+	version int
+}
+
+// traceRingSize bounds /trace/recent: enough to find a slow outlier
+// reported by lam-loadgen moments earlier, small enough to never
+// matter for memory.
+const traceRingSize = 256
 
 // New returns a server backed by reg.
 func New(reg *registry.Registry) *Server {
-	return &Server{reg: reg, cache: make(map[string]*registry.Model)}
+	s := &Server{
+		reg:       reg,
+		cache:     make(map[string]*registry.Model),
+		modelTele: make(map[modelKey]*modelTelemetry),
+	}
+	s.Telemetry = telemetry.NewRegistry()
+	s.Metrics = newMetrics(s.Telemetry)
+	s.Tracer = telemetry.NewRecorder(traceRingSize)
+	return s
+}
+
+// modelTeleFor resolves the per-(model, version) labeled counters,
+// registering them on first use.
+func (s *Server) modelTeleFor(m *registry.Model) *modelTelemetry {
+	key := modelKey{name: m.Meta.Name, version: m.Meta.Version}
+	s.teleMu.RLock()
+	mt := s.modelTele[key]
+	s.teleMu.RUnlock()
+	if mt != nil {
+		return mt
+	}
+	ver := strconv.Itoa(key.version)
+	mt = &modelTelemetry{
+		ok: s.Telemetry.Counter("lam_model_predict_requests_total",
+			"Completed /predict requests per model version and outcome",
+			telemetry.L("model", key.name), telemetry.L("version", ver), telemetry.L("outcome", "ok")),
+		err: s.Telemetry.Counter("lam_model_predict_requests_total",
+			"Completed /predict requests per model version and outcome",
+			telemetry.L("model", key.name), telemetry.L("version", ver), telemetry.L("outcome", "error")),
+		rows: s.Telemetry.Counter("lam_model_predict_rows_total",
+			"Rows scored per model version",
+			telemetry.L("model", key.name), telemetry.L("version", ver)),
+	}
+	s.teleMu.Lock()
+	if existing, ok := s.modelTele[key]; ok {
+		mt = existing
+	} else {
+		s.modelTele[key] = mt
+	}
+	s.teleMu.Unlock()
+	return mt
 }
 
 // AttachOnline wires an online adaptation plane into the server: the
@@ -86,12 +160,50 @@ func New(reg *registry.Registry) *Server {
 // the latest pointer. Call before Handler.
 func (s *Server) AttachOnline(p *online.Plane) {
 	s.online = p
+	if p.Tracer == nil {
+		p.Tracer = s.Tracer
+	}
+	if p.Log == nil {
+		p.Log = s.Log
+	}
 	p.OnPublish = func(meta registry.Meta) {
 		// Warm and swap eagerly so the first post-publish request does
 		// not pay the deserialization; the per-request version check
 		// would pick the new version up regardless.
 		_, _ = s.Reload(meta.Name)
 	}
+	// Online activity is exposed as scrape-time collectors: the plane's
+	// own state stays the source of truth instead of being mirrored
+	// into slots.
+	counter := func(get func(online.Counters) uint64) func(func([]telemetry.Label, float64)) {
+		return func(emit func([]telemetry.Label, float64)) {
+			emit(nil, float64(get(p.Counters())))
+		}
+	}
+	s.Telemetry.CollectFunc("lam_online_observations_total", "Ground-truth observations ingested by the online plane",
+		telemetry.TypeCounter, counter(func(c online.Counters) uint64 { return c.Observations }))
+	s.Telemetry.CollectFunc("lam_online_drift_trips_total", "Drift-detector trips",
+		telemetry.TypeCounter, counter(func(c online.Counters) uint64 { return c.Trips }))
+	s.Telemetry.CollectFunc("lam_online_retrains_started_total", "Background retrains started",
+		telemetry.TypeCounter, counter(func(c online.Counters) uint64 { return c.RetrainsStarted }))
+	s.Telemetry.CollectFunc("lam_online_retrains_published_total", "Retrains that published an improved version",
+		telemetry.TypeCounter, counter(func(c online.Counters) uint64 { return c.RetrainsPublished }))
+	s.Telemetry.CollectFunc("lam_online_retrains_discarded_total", "Retrains discarded for not improving on holdout",
+		telemetry.TypeCounter, counter(func(c online.Counters) uint64 { return c.RetrainsDiscarded }))
+	s.Telemetry.CollectFunc("lam_online_retrain_errors_total", "Retrain attempts that failed",
+		telemetry.TypeCounter, counter(func(c online.Counters) uint64 { return c.RetrainErrors }))
+	// Per-version served accuracy: the signal a progressive-delivery
+	// controller compares across versions.
+	s.Telemetry.CollectFunc("lam_served_ape", "Served absolute-percentage-error quantiles per model version",
+		telemetry.TypeGauge, func(emit func([]telemetry.Label, float64)) {
+			for _, a := range p.ServedAPE() {
+				model := telemetry.L("model", a.Model)
+				version := telemetry.L("version", strconv.Itoa(a.Version))
+				emit([]telemetry.Label{model, version, telemetry.L("quantile", "0.5")}, a.P50)
+				emit([]telemetry.Label{model, version, telemetry.L("quantile", "0.9")}, a.P90)
+				emit([]telemetry.Label{model, version, telemetry.L("quantile", "0.99")}, a.P99)
+			}
+		})
 }
 
 // Handler returns the service's HTTP routes, materialising the
@@ -107,7 +219,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /models", s.handleModels)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /metrics", s.Telemetry.Handler(s.handleMetricsJSON))
+	mux.Handle("GET /trace/recent", s.Tracer.Handler())
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	if s.online != nil {
 		mux.HandleFunc("POST /observe", s.handleObserve)
@@ -118,12 +231,13 @@ func (s *Server) Handler() http.Handler {
 
 // load returns the model for (name, version). version <= 0 means the
 // latest published version, served through the lock-free hot-swap
-// pointer; pinned versions go through the bounded cache.
-func (s *Server) load(name string, version int) (*registry.Model, error) {
+// pointer; pinned versions go through the bounded cache. ctx carries
+// the request trace so cold loads record artifact_load/hot_swap spans.
+func (s *Server) load(ctx context.Context, name string, version int) (*registry.Model, error) {
 	if version <= 0 {
-		return s.loadLatest(name)
+		return s.loadLatest(ctx, name)
 	}
-	return s.loadPinned(name, version)
+	return s.loadPinned(ctx, name, version)
 }
 
 // loadLatest resolves name's newest published version (one cheap
@@ -131,7 +245,7 @@ func (s *Server) load(name string, version int) (*registry.Model, error) {
 // behind the name's atomic pointer, swapping a fresh load in when the
 // pointer is stale. In-flight requests holding the previous *Model
 // keep using it untouched: a swap is publication, not mutation.
-func (s *Server) loadLatest(name string) (*registry.Model, error) {
+func (s *Server) loadLatest(ctx context.Context, name string) (*registry.Model, error) {
 	latest, err := s.reg.LatestVersion(name)
 	if err != nil {
 		return nil, err
@@ -141,7 +255,7 @@ func (s *Server) loadLatest(name string) (*registry.Model, error) {
 		s.Metrics.ModelCacheHits.Add(1)
 		return m, nil
 	}
-	return s.swapIn(name, latest)
+	return s.swapIn(ctx, name, latest)
 }
 
 func (s *Server) latestPtr(name string) *atomic.Pointer[registry.Model] {
@@ -160,7 +274,7 @@ func (s *Server) latestPtr(name string) *atomic.Pointer[registry.Model] {
 // or just-published model hit by a burst of requests is deserialized
 // exactly once, with the rest of the burst waiting on the loader
 // instead of each decoding its own copy.
-func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
+func (s *Server) swapIn(ctx context.Context, name string, version int) (*registry.Model, error) {
 	muAny, _ := s.loading.LoadOrStore(name, &sync.Mutex{})
 	mu := muAny.(*sync.Mutex)
 	mu.Lock()
@@ -171,8 +285,10 @@ func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
 		s.Metrics.ModelCacheHits.Add(1)
 		return cur, nil
 	}
+	sp := telemetry.StartSpan(ctx, "hot_swap")
+	defer sp.End()
 	s.Metrics.ModelCacheMisses.Add(1)
-	m, err := s.reg.Load(name, version)
+	m, err := s.reg.LoadCtx(ctx, name, version)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +296,7 @@ func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
 	if err := s.applyLayout(m); err != nil {
 		return nil, err
 	}
+	sp.Detail(m.Meta.Name + "@v" + strconv.Itoa(m.Meta.Version))
 	p := s.latestPtr(name)
 	for {
 		cur := p.Load()
@@ -189,6 +306,12 @@ func (s *Server) swapIn(name string, version int) (*registry.Model, error) {
 		if p.CompareAndSwap(cur, m) {
 			if cur != nil {
 				s.Metrics.ModelSwaps.Add(1)
+				if s.Log != nil {
+					s.Log.Info("hot swap",
+						"model", m.Meta.Name,
+						"version", m.Meta.Version,
+						"replaced", cur.Meta.Version)
+				}
 			}
 			return m, nil
 		}
@@ -216,14 +339,14 @@ func (s *Server) Reload(name string) (*registry.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.swapIn(name, latest)
+	return s.swapIn(context.Background(), name, latest)
 }
 
 // loadPinned returns the cached model for an explicit (name, version),
 // loading it on first use. A pin of the version the hot-swap pointer
 // already serves as "latest" reuses that instance instead of holding a
 // second deserialized copy of the same ensemble.
-func (s *Server) loadPinned(name string, version int) (*registry.Model, error) {
+func (s *Server) loadPinned(ctx context.Context, name string, version int) (*registry.Model, error) {
 	if v, ok := s.latest.Load(name); ok {
 		if m := v.(*atomic.Pointer[registry.Model]).Load(); m != nil && m.Meta.Version == version {
 			s.Metrics.ModelCacheHits.Add(1)
@@ -239,7 +362,7 @@ func (s *Server) loadPinned(name string, version int) (*registry.Model, error) {
 		return m, nil
 	}
 	s.Metrics.ModelCacheMisses.Add(1)
-	m, err := s.reg.Load(name, version)
+	m, err := s.reg.LoadCtx(ctx, name, version)
 	if err != nil {
 		return nil, err
 	}
@@ -444,13 +567,24 @@ type predictResponse struct {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.Metrics.PredictRequests.Add(1)
-	defer func() { s.Metrics.observePredictLatency(time.Since(start)) }()
+	defer func() { s.Metrics.PredictLatency.Observe(time.Since(start)) }()
+	// Adopt the gateway's trace ID (or mint one at this edge) and echo
+	// it back so a client can chase the request in /trace/recent.
+	tr := s.Tracer.StartFromHeader(r.Header, "predict")
+	ctx := r.Context()
+	if tr != nil {
+		w.Header().Set(telemetry.TraceHeader, tr.ID().String())
+		ctx = telemetry.WithTrace(ctx, tr)
+		defer s.Tracer.Finish(tr)
+	}
 	fail := func(err error) {
 		s.Metrics.PredictErrors.Add(1)
 		writeError(w, err)
 	}
 	if s.admit != nil {
-		release, err := s.admit.admit(r.Context())
+		asp := tr.StartSpan("admission")
+		release, err := s.admit.admit(ctx)
+		asp.End()
 		if err != nil {
 			if errors.Is(err, errOverloaded) {
 				// Shed, not failed: the client is told to back off for
@@ -467,8 +601,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.InjectLatency > 0 {
 		select {
 		case <-time.After(s.InjectLatency):
-		case <-r.Context().Done():
-			fail(fmt.Errorf("serve: %w: %w", lamerr.ErrCancelled, r.Context().Err()))
+		case <-ctx.Done():
+			fail(fmt.Errorf("serve: %w: %w", lamerr.ErrCancelled, ctx.Err()))
 			return
 		}
 	}
@@ -488,25 +622,32 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		fail(fmt.Errorf("serve: %w: exactly one of \"x\" and \"batch\" must be set", lamerr.ErrBadRequest))
 		return
 	}
-	m, err := s.load(req.Model, req.Version)
+	m, err := s.load(ctx, req.Model, req.Version)
 	if err != nil {
 		fail(err)
 		return
 	}
+	tr.SetModel(m.Meta.Name, m.Meta.Version)
+	mt := s.modelTeleFor(m)
 	resp := predictResponse{Model: m.Meta.Name, Version: m.Meta.Version}
 	if single {
 		var y float64
+		psp := tr.StartSpan("predict")
 		if s.co != nil {
 			s.Metrics.CoalescedRequests.Add(1)
-			y, err = s.co.predict(r.Context(), m, req.X)
+			y, err = s.co.predict(ctx, m, req.X)
 		} else {
-			y, err = m.Predict(r.Context(), req.X)
+			y, err = m.Predict(ctx, req.X)
 		}
+		psp.End()
 		if err != nil {
+			mt.err.Inc()
 			fail(predictError(err))
 			return
 		}
 		s.Metrics.PredictRows.Add(1)
+		mt.ok.Inc()
+		mt.rows.Add(1)
 		resp.Y = &y
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -514,11 +655,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.Metrics.PredictBatchRequests.Add(1)
 	buf := ml.GetScratch(len(req.Batch))
 	defer ml.PutScratch(buf)
-	if err := m.PredictBatchInto(r.Context(), req.Batch, *buf); err != nil {
+	psp := tr.StartSpan("predict")
+	if tr != nil {
+		psp.Detail("rows=" + strconv.Itoa(len(req.Batch)))
+	}
+	err = m.PredictBatchInto(ctx, req.Batch, *buf)
+	psp.End()
+	if err != nil {
+		mt.err.Inc()
 		fail(predictError(err))
 		return
 	}
 	s.Metrics.PredictRows.Add(uint64(len(req.Batch)))
+	mt.ok.Inc()
+	mt.rows.Add(uint64(len(req.Batch)))
 	resp.YBatch = *buf
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -556,6 +706,13 @@ type observeResponse struct {
 // happen inside the plane; the response carries the updated status.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	s.Metrics.ObserveRequests.Add(1)
+	tr := s.Tracer.StartFromHeader(r.Header, "observe")
+	ctx := r.Context()
+	if tr != nil {
+		w.Header().Set(telemetry.TraceHeader, tr.ID().String())
+		ctx = telemetry.WithTrace(ctx, tr)
+		defer s.Tracer.Finish(tr)
+	}
 	fail := func(err error) {
 		s.Metrics.ObserveErrors.Add(1)
 		writeError(w, err)
@@ -599,18 +756,24 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	m, err := s.load(req.Model, 0)
+	m, err := s.load(ctx, req.Model, 0)
 	if err != nil {
 		fail(err)
 		return
 	}
+	tr.SetModel(m.Meta.Name, m.Meta.Version)
 	buf := ml.GetScratch(len(X))
 	defer ml.PutScratch(buf)
-	if err := m.PredictBatchInto(r.Context(), X, *buf); err != nil {
+	psp := tr.StartSpan("predict")
+	err = m.PredictBatchInto(ctx, X, *buf)
+	psp.End()
+	if err != nil {
 		fail(predictError(err))
 		return
 	}
+	isp := tr.StartSpan("observe_ingest")
 	status, err := s.online.Observe(m, X, *buf, obs)
+	isp.End()
 	if err != nil {
 		fail(err)
 		return
@@ -627,7 +790,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 // handleDrift reports the adaptation state of a model's latest served
 // version.
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
-	m, err := s.load(r.PathValue("name"), 0)
+	m, err := s.load(r.Context(), r.PathValue("name"), 0)
 	if err != nil {
 		writeError(w, err)
 		return

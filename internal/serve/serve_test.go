@@ -326,7 +326,7 @@ func TestCacheEviction(t *testing.T) {
 		}
 		// Latest resolution rides the hot-swap pointer, not the pinned
 		// cache — it must still track each publish.
-		lm, err := srv.load("m", 0)
+		lm, err := srv.load(context.Background(), "m", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -336,11 +336,11 @@ func TestCacheEviction(t *testing.T) {
 	}
 	// Pinning the version the hot pointer serves must reuse its
 	// instance, not deserialize a second copy.
-	latest, err := srv.load("m", 0)
+	latest, err := srv.load(context.Background(), "m", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinnedLatest, err := srv.load("m", 5)
+	pinnedLatest, err := srv.load(context.Background(), "m", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestCacheEviction(t *testing.T) {
 	// Pin the superseded versions: this is the path the bounded cache
 	// serves and evicts.
 	for v := 1; v <= 4; v++ {
-		if _, err := srv.load("m", v); err != nil {
+		if _, err := srv.load(context.Background(), "m", v); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -364,7 +364,7 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatalf("evicted %d pinned versions, want >= 2", ev)
 	}
 	// Pinned old versions still load correctly (just uncached).
-	lm, err := srv.load("m", 1)
+	lm, err := srv.load(context.Background(), "m", 1)
 	if err != nil {
 		t.Fatal(err)
 	}

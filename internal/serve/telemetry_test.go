@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"lam/internal/telemetry"
+)
+
+// scrapeStrict fetches /metrics and runs the strict exposition parser
+// over the document.
+func scrapeStrict(t *testing.T, base string) (*telemetry.Exposition, error) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.ParseExposition(string(raw))
+}
+
+// TestMetricsExpositionUnderLoad drives concurrent predicts and
+// observes while scraping /metrics: every intermediate document must
+// strict-parse, and the final one must carry the per-model and
+// per-version labeled series plus the served-accuracy quantiles.
+func TestMetricsExpositionUnderLoad(t *testing.T) {
+	ts, _, _, X := newOnlineTestServer(t)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, body := postPredict(t, ts.URL, map[string]any{"model": "grid-hybrid", "x": X[i%len(X)]})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("predict: %d (%s)", resp.StatusCode, body)
+					return
+				}
+				resp, body = postJSON(t, ts.URL+"/observe", map[string]any{"model": "grid-hybrid", "x": X[i%len(X)], "y": 0.5})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("observe: %d (%s)", resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := scrapeStrict(t, ts.URL); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	exp, err := scrapeStrict(t, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := exp.Family("lam_predict_requests_total"); f == nil || len(f.Samples) == 0 || f.Samples[0].Value < 30 {
+		t.Fatalf("lam_predict_requests_total missing or low: %+v", f)
+	}
+	if f := exp.Family("lam_predict_latency_seconds"); f == nil || f.Type != "histogram" {
+		t.Fatalf("predict latency histogram missing: %+v", f)
+	}
+	perModel := exp.Family("lam_model_predict_requests_total")
+	if perModel == nil {
+		t.Fatal("no lam_model_predict_requests_total family")
+	}
+	foundOK := false
+	for _, s := range perModel.Samples {
+		model, _ := s.Label("model")
+		version, _ := s.Label("version")
+		outcome, _ := s.Label("outcome")
+		if model == "grid-hybrid" && version == "1" && outcome == "ok" && s.Value >= 30 {
+			foundOK = true
+		}
+	}
+	if !foundOK {
+		t.Fatalf("no lam_model_predict_requests_total{model=grid-hybrid,version=1,outcome=ok} sample: %+v", perModel.Samples)
+	}
+	if f := exp.Family("lam_online_observations_total"); f == nil || len(f.Samples) == 0 || f.Samples[0].Value < 30 {
+		t.Fatalf("lam_online_observations_total missing or low: %+v", f)
+	}
+	ape := exp.Family("lam_served_ape")
+	if ape == nil || len(ape.Samples) == 0 {
+		t.Fatalf("lam_served_ape missing after observations: %+v", ape)
+	}
+	quantiles := map[string]bool{}
+	for _, s := range ape.Samples {
+		model, _ := s.Label("model")
+		if version, _ := s.Label("version"); model != "grid-hybrid" || version != "1" {
+			t.Errorf("unexpected lam_served_ape labels: %+v", s.Labels)
+		}
+		q, _ := s.Label("quantile")
+		quantiles[q] = true
+	}
+	for _, q := range []string{"0.5", "0.9", "0.99"} {
+		if !quantiles[q] {
+			t.Errorf("lam_served_ape is missing quantile %q (has %v)", q, quantiles)
+		}
+	}
+}
+
+// TestPredictTraceAdoption sends /predict under a client-minted trace
+// ID: the response must echo it and /trace/recent must list the trace
+// with a predict span and the resolved model version.
+func TestPredictTraceAdoption(t *testing.T) {
+	ts, _, _, X := newOnlineTestServer(t)
+	id := telemetry.NewTraceID().String()
+
+	body, _ := json.Marshal(map[string]any{"model": "grid-hybrid", "x": X[0]})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(telemetry.TraceHeader); got != id {
+		t.Fatalf("response trace ID %q, want the client's %q", got, id)
+	}
+
+	r, err := http.Get(ts.URL + "/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var doc struct {
+		Traces []telemetry.Record `json:"traces"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range doc.Traces {
+		if rec.TraceID != id {
+			continue
+		}
+		if rec.Model != "grid-hybrid" || rec.Version != 1 {
+			t.Errorf("trace resolved %s@v%d, want grid-hybrid@v1", rec.Model, rec.Version)
+		}
+		for _, sp := range rec.Spans {
+			if sp.Name == "predict" {
+				return
+			}
+		}
+		t.Fatalf("trace %s has no predict span: %+v", id, rec.Spans)
+	}
+	t.Fatalf("/trace/recent does not list trace %s", id)
+}

@@ -1,0 +1,22 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemons' structured logger for the -log-format
+// flag: "text" (human-oriented key=value) or "json" (one object per
+// line, for log shippers). Unknown formats error so a typo fails at
+// startup instead of silently logging in the wrong shape.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

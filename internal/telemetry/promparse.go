@@ -1,0 +1,366 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpoSample is one parsed sample line.
+type ExpoSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels []Label
+	Value  float64
+}
+
+// Label lookup helper.
+func (s ExpoSample) Label(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// ExpoFamily is one parsed metric family: its # HELP / # TYPE header
+// plus every sample that followed it.
+type ExpoFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ExpoSample
+}
+
+// Exposition is a parsed /metrics document.
+type Exposition struct {
+	Families []*ExpoFamily
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *ExpoFamily {
+	for _, f := range e.Families {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ParseExposition parses a Prometheus text-format document strictly.
+// Beyond syntax it enforces the invariants our Registry promises and
+// the test suites scrape for:
+//
+//   - every sample is preceded by its family's # HELP and # TYPE lines
+//   - family names are unique and each family's samples are contiguous
+//   - no duplicate series (same name + label set twice)
+//   - label names are valid and strictly sorted, with histogram "le"
+//     trailing the user labels
+//   - per histogram series: le bounds strictly ascending, cumulative
+//     bucket counts monotonically non-decreasing, a terminal +Inf
+//     bucket, a _sum, and a _count equal to the +Inf bucket
+//
+// Any violation returns an error naming the offending line.
+func ParseExposition(doc string) (*Exposition, error) {
+	exp := &Exposition{}
+	byName := map[string]*ExpoFamily{}
+	var cur *ExpoFamily
+	var curHelp string
+	helpSeen := map[string]string{}
+
+	lines := strings.Split(doc, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			if ln != len(lines)-1 {
+				return nil, fmt.Errorf("line %d: blank line inside exposition", lineNo)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				// HELP with empty help text: tolerate "name" alone.
+				name, help = rest, ""
+			}
+			if !metricNameRE.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			if _, dup := helpSeen[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate # HELP for %s", lineNo, name)
+			}
+			helpSeen[name] = help
+			curHelp = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram && typ != "summary" && typ != "untyped" {
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if curHelp != name {
+				return nil, fmt.Errorf("line %d: # TYPE %s not immediately preceded by its # HELP", lineNo, name)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			cur = &ExpoFamily{Name: name, Help: helpSeen[name], Type: typ}
+			byName[name] = cur
+			exp.Families = append(exp.Families, cur)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: sample %s before any # TYPE", lineNo, s.Name)
+		}
+		base := s.Name
+		if cur.Type == TypeHistogram {
+			base = strings.TrimSuffix(base, "_bucket")
+			base = strings.TrimSuffix(base, "_sum")
+			base = strings.TrimSuffix(base, "_count")
+		}
+		if base != cur.Name {
+			return nil, fmt.Errorf("line %d: sample %s under family %s (samples must be contiguous)", lineNo, s.Name, cur.Name)
+		}
+		if cur.Type == TypeHistogram && s.Name == cur.Name {
+			return nil, fmt.Errorf("line %d: bare sample %s for histogram family", lineNo, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+
+	for _, f := range exp.Families {
+		if err := validateFamily(f); err != nil {
+			return nil, err
+		}
+	}
+	return exp, nil
+}
+
+// parseSampleLine parses `name{a="b",...} value` (no timestamps — the
+// Registry never writes them, so the parser rejects them).
+func parseSampleLine(line string) (ExpoSample, error) {
+	var s ExpoSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !metricNameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		j := i + 1
+		for j < len(line) && line[j] != '}' {
+			// label name
+			k := j
+			for k < len(line) && line[k] != '=' {
+				k++
+			}
+			if k == len(line) {
+				return s, fmt.Errorf("unterminated label in %q", line)
+			}
+			lname := line[j:k]
+			if !labelNameRE.MatchString(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			if k+1 >= len(line) || line[k+1] != '"' {
+				return s, fmt.Errorf("label %s: value not quoted", lname)
+			}
+			val, rest, err := unquoteLabelValue(line[k+2:])
+			if err != nil {
+				return s, fmt.Errorf("label %s: %v", lname, err)
+			}
+			s.Labels = append(s.Labels, Label{Name: lname, Value: val})
+			j = len(line) - len(rest)
+			if j < len(line) && line[j] == ',' {
+				j++
+			} else if j < len(line) && line[j] != '}' {
+				return s, fmt.Errorf("malformed label list in %q", line)
+			}
+		}
+		if j == len(line) {
+			return s, fmt.Errorf("unterminated label list in %q", line)
+		}
+		i = j + 1
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	valStr := line[i+1:]
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("trailing content after value in %q (timestamps are not accepted)", line)
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// unquoteLabelValue consumes an escaped label value up to its closing
+// quote, returning the value and the remainder of the line after the
+// quote.
+func unquoteLabelValue(rest string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		switch c {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", rest[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateFamily checks series uniqueness, label ordering, and the
+// histogram invariants.
+func validateFamily(f *ExpoFamily) error {
+	seen := map[string]bool{}
+	for _, s := range f.Samples {
+		// Label names strictly sorted; for histogram buckets "le" must
+		// be last (our writer appends it after the sorted user labels,
+		// and "le" is not required to sort after arbitrary names — the
+		// contract is: user labels sorted, le trailing).
+		labels := s.Labels
+		if f.Type == TypeHistogram && strings.HasSuffix(s.Name, "_bucket") {
+			if len(labels) == 0 || labels[len(labels)-1].Name != "le" {
+				return fmt.Errorf("family %s: bucket sample missing trailing le label", f.Name)
+			}
+			labels = labels[:len(labels)-1]
+		}
+		for i := 1; i < len(labels); i++ {
+			if labels[i-1].Name >= labels[i].Name {
+				return fmt.Errorf("family %s: labels of %s not strictly sorted (%s before %s)",
+					f.Name, s.Name, labels[i-1].Name, labels[i].Name)
+			}
+		}
+		key := s.Name + "|" + signature(s.Labels)
+		if seen[key] {
+			return fmt.Errorf("family %s: duplicate series %s{%s}", f.Name, s.Name, signature(s.Labels))
+		}
+		seen[key] = true
+	}
+
+	if f.Type != TypeHistogram {
+		return nil
+	}
+
+	// Group buckets/sum/count per label signature (excluding le).
+	type hseries struct {
+		bounds []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	groups := map[string]*hseries{}
+	order := []string{}
+	get := func(sig string) *hseries {
+		h := groups[sig]
+		if h == nil {
+			h = &hseries{}
+			groups[sig] = h
+			order = append(order, sig)
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, _ := s.Label("le")
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("family %s: bad le %q", f.Name, le)
+			}
+			user := s.Labels[:len(s.Labels)-1]
+			h := get(signature(user))
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			h := get(signature(s.Labels))
+			if h.sum != nil {
+				return fmt.Errorf("family %s: duplicate _sum", f.Name)
+			}
+			v := s.Value
+			h.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			h := get(signature(s.Labels))
+			if h.count != nil {
+				return fmt.Errorf("family %s: duplicate _count", f.Name)
+			}
+			v := s.Value
+			h.count = &v
+		}
+	}
+	sort.Strings(order)
+	for _, sig := range order {
+		h := groups[sig]
+		if len(h.bounds) == 0 {
+			return fmt.Errorf("family %s{%s}: histogram series with no buckets", f.Name, sig)
+		}
+		for i := 1; i < len(h.bounds); i++ {
+			if !(h.bounds[i-1] < h.bounds[i]) {
+				return fmt.Errorf("family %s{%s}: le bounds not strictly ascending", f.Name, sig)
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("family %s{%s}: cumulative bucket counts decrease at le=%v", f.Name, sig, h.bounds[i])
+			}
+		}
+		if !math.IsInf(h.bounds[len(h.bounds)-1], 1) {
+			return fmt.Errorf("family %s{%s}: missing terminal +Inf bucket", f.Name, sig)
+		}
+		if h.sum == nil {
+			return fmt.Errorf("family %s{%s}: missing _sum", f.Name, sig)
+		}
+		if h.count == nil {
+			return fmt.Errorf("family %s{%s}: missing _count", f.Name, sig)
+		}
+		if *h.count != h.counts[len(h.counts)-1] {
+			return fmt.Errorf("family %s{%s}: _count %v != +Inf bucket %v", f.Name, sig, *h.count, h.counts[len(h.counts)-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsBrokenDocuments(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{
+			"sample before TYPE",
+			"lam_x 1\n",
+			"before any # TYPE",
+		},
+		{
+			"TYPE without HELP",
+			"# TYPE lam_x counter\nlam_x 1\n",
+			"not immediately preceded",
+		},
+		{
+			"duplicate family",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x 1\n# HELP lam_x h\n# TYPE lam_x counter\nlam_x 2\n",
+			"duplicate",
+		},
+		{
+			"duplicate series",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x{a=\"1\"} 1\nlam_x{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"unsorted labels",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x{b=\"1\",a=\"2\"} 1\n",
+			"not strictly sorted",
+		},
+		{
+			"non-contiguous family",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x 1\nlam_y 2\n",
+			"contiguous",
+		},
+		{
+			"histogram missing +Inf",
+			"# HELP lam_h h\n# TYPE lam_h histogram\nlam_h_bucket{le=\"1\"} 1\nlam_h_sum 1\nlam_h_count 1\n",
+			"+Inf",
+		},
+		{
+			"histogram buckets decrease",
+			"# HELP lam_h h\n# TYPE lam_h histogram\nlam_h_bucket{le=\"1\"} 5\nlam_h_bucket{le=\"+Inf\"} 3\nlam_h_sum 1\nlam_h_count 3\n",
+			"decrease",
+		},
+		{
+			"histogram le not ascending",
+			"# HELP lam_h h\n# TYPE lam_h histogram\nlam_h_bucket{le=\"2\"} 1\nlam_h_bucket{le=\"1\"} 1\nlam_h_bucket{le=\"+Inf\"} 1\nlam_h_sum 1\nlam_h_count 1\n",
+			"ascending",
+		},
+		{
+			"histogram count mismatch",
+			"# HELP lam_h h\n# TYPE lam_h histogram\nlam_h_bucket{le=\"+Inf\"} 3\nlam_h_sum 1\nlam_h_count 4\n",
+			"_count",
+		},
+		{
+			"histogram missing sum",
+			"# HELP lam_h h\n# TYPE lam_h histogram\nlam_h_bucket{le=\"+Inf\"} 3\nlam_h_count 3\n",
+			"_sum",
+		},
+		{
+			"bucket without le",
+			"# HELP lam_h h\n# TYPE lam_h histogram\nlam_h_bucket{a=\"1\"} 3\nlam_h_sum 1\nlam_h_count 3\n",
+			"le",
+		},
+		{
+			"timestamp rejected",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x 1 1700000000\n",
+			"timestamps",
+		},
+		{
+			"unterminated label value",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x{a=\"1} 1\n",
+			"unterminated",
+		},
+		{
+			"bad escape",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x{a=\"\\q\"} 1\n",
+			"escape",
+		},
+		{
+			"bad value",
+			"# HELP lam_x h\n# TYPE lam_x counter\nlam_x abc\n",
+			"value",
+		},
+		{
+			"blank line inside",
+			"# HELP lam_x h\n# TYPE lam_x counter\n\nlam_x 1\n",
+			"blank",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseExposition(tc.doc)
+			if err == nil {
+				t.Fatalf("parse must fail for:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseAcceptsWellFormed(t *testing.T) {
+	doc := strings.Join([]string{
+		`# HELP lam_h latency`,
+		`# TYPE lam_h histogram`,
+		`lam_h_bucket{model="g",le="0.001"} 2`,
+		`lam_h_bucket{model="g",le="+Inf"} 3`,
+		`lam_h_sum{model="g"} 0.005`,
+		`lam_h_count{model="g"} 3`,
+		`# HELP lam_x requests`,
+		`# TYPE lam_x counter`,
+		`lam_x{model="g",outcome="ok"} 9`,
+		``,
+	}, "\n")
+	exp, err := ParseExposition(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(exp.Families))
+	}
+	h := exp.Family("lam_h")
+	if h.Help != "latency" || h.Type != TypeHistogram || len(h.Samples) != 4 {
+		t.Fatalf("histogram family wrong: %+v", h)
+	}
+	if v, ok := exp.Family("lam_x").Samples[0].Label("outcome"); !ok || v != "ok" {
+		t.Fatal("label lookup failed")
+	}
+}

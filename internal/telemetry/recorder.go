@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Record is one finished trace as stored in the Recorder's ring and
+// served by GET /trace/recent.
+type Record struct {
+	TraceID      string    `json:"trace_id"`
+	Name         string    `json:"name"`
+	Model        string    `json:"model,omitempty"`
+	Version      int       `json:"version,omitempty"`
+	Start        time.Time `json:"start"`
+	DurNs        int64     `json:"dur_ns"`
+	Spans        []Span    `json:"spans"`
+	SpansDropped int       `json:"spans_dropped,omitempty"`
+}
+
+// Recorder owns a process's finished traces: a bounded ring (newest
+// wins) plus the slow-trace log hook. All methods are nil-safe so a
+// daemon that opts out of tracing passes nil and the instrumented
+// paths degrade to no-ops.
+type Recorder struct {
+	// Slow, when positive, logs the full span list of any trace whose
+	// total duration meets or exceeds it (the -trace-slow flag).
+	Slow time.Duration
+	// Logger receives slow-trace reports; nil falls back to
+	// slog.Default().
+	Logger *slog.Logger
+
+	mu   sync.Mutex
+	ring []Record
+	next int
+	full bool
+}
+
+// NewRecorder returns a recorder keeping the last size finished
+// traces (minimum 1).
+func NewRecorder(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{ring: make([]Record, size)}
+}
+
+// Start mints a fresh trace. name labels the operation ("predict",
+// "observe", "retrain"). Nil-safe: a nil recorder returns a nil trace.
+func (r *Recorder) Start(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{id: NewTraceID(), name: name, start: time.Now()}
+}
+
+// StartFromHeader adopts the TraceHeader ID from an incoming request,
+// minting a fresh one when the header is absent or malformed — the
+// edge mints, interior hops join.
+func (r *Recorder) StartFromHeader(h http.Header, name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	t := &Trace{name: name, start: time.Now()}
+	if id, ok := ParseTraceID(h.Get(TraceHeader)); ok {
+		t.id = id
+	} else {
+		t.id = NewTraceID()
+	}
+	return t
+}
+
+// Finish completes the trace: stores it in the ring and, if the trace
+// ran slower than Slow, logs its span tree.
+func (r *Recorder) Finish(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	dur := time.Since(t.start)
+	t.mu.Lock()
+	rec := Record{
+		TraceID:      t.id.String(),
+		Name:         t.name,
+		Model:        t.model,
+		Version:      t.version,
+		Start:        t.start,
+		DurNs:        dur.Nanoseconds(),
+		Spans:        append([]Span(nil), t.spans...),
+		SpansDropped: t.dropped,
+	}
+	t.mu.Unlock()
+
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+
+	if r.Slow > 0 && dur >= r.Slow {
+		lg := r.Logger
+		if lg == nil {
+			lg = slog.Default()
+		}
+		lg.Warn("slow trace",
+			"trace_id", rec.TraceID,
+			"op", rec.Name,
+			"model", rec.Model,
+			"version", rec.Version,
+			"dur", dur,
+			"spans", rec.Spans,
+		)
+	}
+}
+
+// Recent returns the stored traces newest-first.
+func (r *Recorder) Recent() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.ring)
+	}
+	out := make([]Record, 0, n)
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.ring)
+		}
+		out = append(out, r.ring[idx])
+	}
+	return out
+}
+
+// Handler serves GET /trace/recent: {"traces":[...]}, newest first.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := r.Recent()
+		if recs == nil {
+			recs = []Record{}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"traces": recs})
+	})
+}

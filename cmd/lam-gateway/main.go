@@ -39,12 +39,14 @@
 //
 //	GET  /healthz  — fleet summary (503 once no backend is live)
 //	GET  /models   — union of every live backend's /models
-//	GET  /metrics  — Prometheus text exposition (?format=json serves
-//	                 the legacy counter document for one release)
+//	GET  /metrics  — Prometheus text exposition
 //	GET  /trace/recent — the last 256 finished request traces
 //	POST /predict  — proxied, byte-identical to the direct replica call
 //	POST /observe  — proxied (same consistent routing, so a model's
 //	                 observation window stays on one replica)
+//	GET/POST /models/{name}/rollout — proxied to the model's home
+//	                 replica: progressive-delivery state and operator
+//	                 actions (see lam-serve -rollout)
 //
 // SIGINT/SIGTERM drain gracefully, like lam-serve.
 package main

@@ -6,7 +6,8 @@
 //
 //	lam-replay -model grid-hybrid [-addr http://127.0.0.1:8080]
 //	          [-workload stencil-blocking] [-machine xeon]
-//	          [-batch 32] [-max 0] [-seed 1] [-log-format text]
+//	          [-batch 32] [-max 0] [-repeat 1] [-seed 1]
+//	          [-log-format text]
 //
 // It builds the named workload's dataset on the named machine preset
 // (pick a *different* machine than the model was trained on to inject
@@ -17,6 +18,15 @@
 // version, and the served version hot-swap — then the post-swap window
 // MAPE settle back down. The exit summary reports the MAPE before and
 // after adaptation.
+//
+// Against a lam-serve -rollout instance the swap is progressive: the
+// responses then carry the rollout status too, and every transition is
+// narrated — the retrained candidate entering shadow, clearing each
+// canary stage with its evaluation-window quantiles, and finally being
+// promoted (or rolled back and quarantined). A full stage walk plus
+// the post-promotion window often needs more observations than one
+// dataset pass holds; -repeat N replays the shuffled stream up to N
+// times.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"lam/internal/experiments"
 	"lam/internal/machine"
 	"lam/internal/online"
+	"lam/internal/rollout"
 	"lam/internal/telemetry"
 )
 
@@ -44,11 +55,12 @@ import (
 var lg = slog.Default()
 
 type observeResponse struct {
-	Model    string        `json:"model"`
-	Version  int           `json:"version"`
-	Ingested int           `json:"ingested"`
-	Drift    online.Status `json:"drift"`
-	Error    string        `json:"error"`
+	Model    string          `json:"model"`
+	Version  int             `json:"version"`
+	Ingested int             `json:"ingested"`
+	Drift    online.Status   `json:"drift"`
+	Rollout  *rollout.Status `json:"rollout"`
+	Error    string          `json:"error"`
 }
 
 func main() {
@@ -58,6 +70,7 @@ func main() {
 	machineName := flag.String("machine", "xeon", "machine preset generating the observed runtimes (bluewaters, xeon, edge)")
 	batch := flag.Int("batch", 32, "observations per /observe request")
 	maxObs := flag.Int("max", 0, "stop after this many observations (0 = the whole dataset)")
+	repeat := flag.Int("repeat", 1, "replay the shuffled stream up to this many times (a rollout stage walk can need more than one pass)")
 	seed := flag.Int64("seed", 1, "simulator + shuffle seed")
 	logFormat := flag.String("log-format", "text", "structured-log output format: text or json")
 	flag.Parse()
@@ -86,15 +99,20 @@ func main() {
 	// Shuffle so the stream is i.i.d. rather than sweeping the
 	// configuration space in generation order.
 	perm := rand.New(rand.NewSource(*seed)).Perm(ds.Len())
-	total := ds.Len()
+	passes := *repeat
+	if passes < 1 {
+		passes = 1
+	}
+	total := ds.Len() * passes
 	if *maxObs > 0 && *maxObs < total {
 		total = *maxObs
 	}
-	lg.Info("streaming observations", "sending", total, "dataset", ds.Len(), "addr", *addr, "batch", *batch)
+	lg.Info("streaming observations", "sending", total, "dataset", ds.Len(), "passes", passes, "addr", *addr, "batch", *batch)
 
 	startVersion := 0
 	preSwap, postSwap := 0.0, 0.0
 	swapped := false
+	lastTransition := ""
 	sent := 0
 	for sent < total {
 		if err := ctx.Err(); err != nil {
@@ -108,7 +126,7 @@ func main() {
 		X := make([][]float64, n)
 		Y := make([]float64, n)
 		for i := 0; i < n; i++ {
-			j := perm[sent+i]
+			j := perm[(sent+i)%ds.Len()]
 			X[i], Y[i] = ds.X[j], ds.Y[j]
 		}
 		resp, err := postObserve(ctx, *addr, *model, X, Y)
@@ -129,6 +147,23 @@ func main() {
 		fmt.Printf("lam-replay: %5d/%d sent  v%d  window %3d  MAPE %7.2f%%  (threshold %.2f%%)  %s\n",
 			sent, total, resp.Version, resp.Drift.Window.Count, resp.Drift.Window.MAPE,
 			resp.Drift.ThresholdMAPE, state)
+		if r := resp.Rollout; r != nil {
+			if r.LastTransition != "" && r.LastTransition != lastTransition {
+				lastTransition = r.LastTransition
+				fmt.Printf("lam-replay: *** rollout: %s\n", r.LastTransition)
+			}
+			if r.Phase != "idle" {
+				where := r.Phase
+				if r.Phase == "canary" {
+					where = fmt.Sprintf("canary stage %d (%.0f%% traffic)", r.Stage, 100*r.Fraction)
+				}
+				fmt.Printf("lam-replay:     rollout v%d vs v%d  %s  cand p50/p90 %.1f/%.1f (%d)  inc %.1f/%.1f (%d, need %d)\n",
+					r.Candidate, r.Incumbent, where,
+					r.CandidateWindow.P50, r.CandidateWindow.P90, r.CandidateWindow.Count,
+					r.IncumbentWindow.P50, r.IncumbentWindow.P90, r.IncumbentWindow.Count,
+					r.NeedSamples)
+			}
+		}
 		if !swapped && resp.Version > startVersion {
 			swapped = true
 			preSwap = resp.Drift.PreSwapMAPE

@@ -12,6 +12,9 @@
 //	         [-layout implicit-left] [-pprof localhost:6060]
 //	         [-online] [-window 512] [-drift-threshold 1.5]
 //	         [-min-samples 64] [-holdout 0.25]
+//	         [-rollout] [-rollout-stages 0.01,0.10,0.50,1.0]
+//	         [-rollout-shadow-samples 64] [-rollout-stage-samples 64]
+//	         [-rollout-margin 0.95] [-rollout-holddown 1h]
 //	         [-log-format text] [-trace-slow 0]
 //
 // Throughput knobs: -max-batch/-max-delay micro-batch concurrent
@@ -32,8 +35,7 @@
 //	                 model resident (503 while warming; the endpoint a
 //	                 fleet gateway health-checks)
 //	GET  /models   — every stored model version's metadata
-//	GET  /metrics  — Prometheus text exposition (?format=json serves
-//	                 the legacy counter document for one release)
+//	GET  /metrics  — Prometheus text exposition
 //	GET  /trace/recent — the last 256 finished request traces
 //	POST /predict  — {"model":"name","x":[…]} or
 //	                 {"model":"name","version":2,"batch":[[…],[…]]}
@@ -49,6 +51,25 @@
 // training set and republishes only if it improves — the server then
 // hot-swaps to the new version without interrupting in-flight
 // requests. See cmd/lam-replay for an end-to-end demonstration.
+//
+// With -rollout (requires -online), retrained or out-of-band published
+// versions go through progressive delivery instead of swapping in
+// directly: the candidate shadow-scores live traffic, then serves a
+// deterministically hashed fraction through the -rollout-stages canary
+// steps, and is promoted only when its windowed served-APE p50/p90
+// beat the incumbent's by the -rollout-margin ratio at every gate; a
+// candidate that fails a gate is rolled back and quarantined for
+// -rollout-holddown. The state machine is driven and inspected over
+// HTTP:
+//
+//	GET  /models/{name}/rollout — phase, stage, windows, hold-downs
+//	POST /models/{name}/rollout — {"action":"pause"|"resume"|
+//	                               "promote"|"rollback"}
+//
+// Rollout state persists in the registry (rollout.json next to the
+// model's version directories), so a restarted server resumes an
+// in-flight rollout — pin, phase and quarantine intact — rather than
+// blindly serving the newest artifact.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests get a
 // drain window, new connections are refused. See the README's
@@ -66,15 +87,42 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux the -pprof listener serves
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"lam"
 	"lam/internal/online"
+	"lam/internal/rollout"
 	"lam/internal/serve"
 	"lam/internal/telemetry"
 )
+
+// parseStages parses the -rollout-stages comma list of fractions.
+func parseStages(s string) ([]float64, error) {
+	var out []float64
+	prev := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rollout-stages: bad fraction %q: %w", part, err)
+		}
+		if f <= prev || f > 1 {
+			return nil, fmt.Errorf("-rollout-stages: fractions must ascend in (0, 1], got %q", s)
+		}
+		out = append(out, f)
+		prev = f
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rollout-stages: no fractions in %q", s)
+	}
+	return out, nil
+}
 
 // lg is the process logger, replaced in main once -log-format is
 // parsed.
@@ -110,6 +158,12 @@ func main() {
 	minSamples := flag.Int("min-samples", 64, "online: windowed samples required before the drift detector may trip")
 	holdout := flag.Float64("holdout", 0.25, "online: fraction of the window held out to judge a retrained model")
 	seed := flag.Int64("seed", 1, "online: seed for retrain splits and model randomness")
+	rolloutOn := flag.Bool("rollout", false, "enable progressive delivery: new versions shadow-score, canary through staged traffic fractions, and promote or roll back on windowed APE (requires -online)")
+	rolloutStages := flag.String("rollout-stages", "0.01,0.10,0.50,1.0", "rollout: comma-separated canary traffic fractions, ascending in (0, 1]")
+	rolloutShadow := flag.Int("rollout-shadow-samples", 64, "rollout: candidate-scored observations the shadow gate needs before deciding")
+	rolloutStage := flag.Int("rollout-stage-samples", 64, "rollout: candidate-served observations each canary gate needs")
+	rolloutMargin := flag.Float64("rollout-margin", 0.95, "rollout: promote only when candidate windowed p50/p90 APE <= this ratio x the incumbent's")
+	rolloutHolddown := flag.Duration("rollout-holddown", time.Hour, "rollout: quarantine window before a rolled-back version may canary again")
 	logFormat := flag.String("log-format", "text", "structured-log output format: text or json")
 	traceSlow := flag.Duration("trace-slow", 0, "log the span tree of any request slower than this (0 disables)")
 	flag.Parse()
@@ -200,6 +254,27 @@ func main() {
 		s.AttachOnline(plane)
 		lg.Info("online adaptation enabled", "window", *window,
 			"drift_threshold", *driftThreshold, "min_samples", *minSamples)
+	}
+	if *rolloutOn {
+		if !*onlineOn {
+			fatal(fmt.Errorf("-rollout requires -online (the rollout gates feed on /observe ground truth)"))
+		}
+		stages, err := parseStages(*rolloutStages)
+		if err != nil {
+			fatal(err)
+		}
+		ctrl := rollout.New(reg, rollout.Config{
+			Stages:        stages,
+			ShadowSamples: *rolloutShadow,
+			StageSamples:  *rolloutStage,
+			PromoteRatio:  *rolloutMargin,
+			WindowSize:    *window,
+			Holddown:      *rolloutHolddown,
+		})
+		s.AttachRollout(ctrl)
+		lg.Info("progressive delivery enabled", "stages", ctrl.Config().Stages,
+			"shadow_samples", *rolloutShadow, "stage_samples", *rolloutStage,
+			"margin", *rolloutMargin, "holddown", *rolloutHolddown)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

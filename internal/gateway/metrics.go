@@ -1,8 +1,6 @@
 package gateway
 
 import (
-	"net/http"
-
 	"lam/internal/telemetry"
 )
 
@@ -46,7 +44,7 @@ func newBackendMetrics(reg *telemetry.Registry, url string) backendMetrics {
 }
 
 // Metrics is the gateway's counter set, exposed at GET /metrics
-// (Prometheus text; ?format=json serves the legacy document).
+// (Prometheus text).
 type Metrics struct {
 	// PredictRequests / ObserveRequests count client requests by
 	// endpoint (not attempts; one request may try several backends).
@@ -83,83 +81,4 @@ func newMetrics(reg *telemetry.Registry) Metrics {
 		Errors:          reg.Counter("lam_gateway_errors_total", "Requests answered 5xx by the gateway itself."),
 		RouteLatency:    reg.Histogram("lam_gateway_route_latency_seconds", "Routing-decision latency (backend selection, not the proxied round trip)."),
 	}
-}
-
-// routeBucket is one histogram entry in the legacy /metrics JSON; LeNs
-// nil marks the +Inf bucket.
-type routeBucket struct {
-	LeNs  *uint64 `json:"le_ns"`
-	Count uint64  `json:"count"`
-}
-
-// backendSnapshot is one backend's row in the legacy /metrics JSON.
-type backendSnapshot struct {
-	URL          string `json:"url"`
-	Live         bool   `json:"live"`
-	Requests     uint64 `json:"requests"`
-	Retries      uint64 `json:"retries"`
-	Failures     uint64 `json:"failures"`
-	Shed429      uint64 `json:"shed_429"`
-	Ejections    uint64 `json:"ejections"`
-	Inflight     int64  `json:"inflight"`
-	InflightPeak int64  `json:"inflight_peak"`
-	SpillsAway   uint64 `json:"spills_away"`
-}
-
-// metricsSnapshot is the JSON shape of GET /metrics?format=json — the
-// pre-telemetry document, kept for one release so existing scrapers
-// and the CI jq probes keep working while they migrate to the
-// Prometheus exposition.
-type metricsSnapshot struct {
-	PredictRequests uint64            `json:"predict_requests"`
-	ObserveRequests uint64            `json:"observe_requests"`
-	Retries         uint64            `json:"retries"`
-	Spilled429      uint64            `json:"spilled_429"`
-	SpilledFailure  uint64            `json:"spilled_failure"`
-	NoBackend       uint64            `json:"no_backend"`
-	Errors          uint64            `json:"errors"`
-	RouteDecisionNs uint64            `json:"route_decision_ns_total"`
-	RouteDecisions  uint64            `json:"route_decisions"`
-	RouteBuckets    []routeBucket     `json:"route_decision_buckets"`
-	Backends        []backendSnapshot `json:"backends"`
-}
-
-func (g *Gateway) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	m := &g.Metrics
-	bounds := m.RouteLatency.BoundsNs()
-	cum := m.RouteLatency.Cumulative()
-	buckets := make([]routeBucket, len(cum))
-	for i := range bounds {
-		le := bounds[i]
-		buckets[i] = routeBucket{LeNs: &le, Count: cum[i]}
-	}
-	buckets[len(cum)-1] = routeBucket{Count: cum[len(cum)-1]}
-	snap := metricsSnapshot{
-		PredictRequests: m.PredictRequests.Load(),
-		ObserveRequests: m.ObserveRequests.Load(),
-		Retries:         m.Retries.Load(),
-		Spilled429:      m.Spilled429.Load(),
-		SpilledFailure:  m.SpilledFailure.Load(),
-		NoBackend:       m.NoBackend.Load(),
-		Errors:          m.Errors.Load(),
-		RouteDecisionNs: m.RouteLatency.SumNs(),
-		RouteDecisions:  m.RouteLatency.Count(),
-		RouteBuckets:    buckets,
-		Backends:        make([]backendSnapshot, len(g.backends)),
-	}
-	for i, b := range g.backends {
-		snap.Backends[i] = backendSnapshot{
-			URL:          b.url,
-			Live:         b.health.live(),
-			Requests:     b.metrics.Requests.Load(),
-			Retries:      b.metrics.Retries.Load(),
-			Failures:     b.metrics.Failures.Load(),
-			Shed429:      b.metrics.Shed429.Load(),
-			Ejections:    b.health.ejections.Load(),
-			Inflight:     b.metrics.Inflight.Load(),
-			InflightPeak: b.metrics.InflightPeak.Load(),
-			SpillsAway:   b.metrics.SpillsAway.Load(),
-		}
-	}
-	writeJSON(w, http.StatusOK, snap)
 }

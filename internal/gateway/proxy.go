@@ -219,7 +219,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /models", g.handleModels)
-	mux.Handle("GET /metrics", g.Telemetry.Handler(g.handleMetricsJSON))
+	mux.Handle("GET /metrics", g.Telemetry.Handler())
 	mux.Handle("GET /trace/recent", g.Tracer.Handler())
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
 		g.Metrics.PredictRequests.Add(1)
@@ -229,7 +229,86 @@ func (g *Gateway) Handler() http.Handler {
 		g.Metrics.ObserveRequests.Add(1)
 		g.proxy(w, r, "/observe", false)
 	})
+	mux.HandleFunc("GET /models/{name}/rollout", g.proxyRollout)
+	mux.HandleFunc("POST /models/{name}/rollout", g.proxyRollout)
 	return mux
+}
+
+// proxyRollout forwards a rollout inspect or action request, routed by
+// the model name in the path — the same ring key /predict uses, so the
+// state a client reads comes from the replica most of that model's
+// traffic lands on. (Replicas share the registry and make canary
+// decisions from the same deterministic hash, so any replica's answer
+// agrees; routing by name just keeps reads cheap and cache-warm.)
+// Inspections (GET) may retry on any transport failure; actions (POST)
+// only when the failure provably preceded the request reaching a
+// backend, so a force-promote is never applied twice.
+func (g *Gateway) proxyRollout(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tr := g.Tracer.StartFromHeader(r.Header, "rollout")
+	if tr != nil {
+		w.Header().Set(telemetry.TraceHeader, tr.ID().String())
+		defer g.Tracer.Finish(tr)
+	}
+	ctx := telemetry.WithTrace(r.Context(), tr)
+	tr.SetModel(name, 0)
+	var body []byte
+	if r.Method == http.MethodPost {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+		if err != nil {
+			g.Metrics.Errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("gateway: reading request body: %v", err)})
+			return
+		}
+	}
+	var orderBuf [maxBackends]int
+	rsp := telemetry.StartSpan(ctx, "route")
+	order := g.tryOrder(name, orderBuf[:])
+	rsp.End()
+	if len(order) == 0 {
+		g.Metrics.NoBackend.Add(1)
+		g.Metrics.Errors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "gateway: no live backend"})
+		return
+	}
+	attempts := g.cfg.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	endpoint := "/models/" + name + "/rollout"
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		b := g.backends[order[attempt]]
+		b.metrics.Requests.Add(1)
+		if attempt > 0 {
+			b.metrics.Retries.Add(1)
+			g.Metrics.Retries.Add(1)
+		}
+		psp := telemetry.StartSpan(ctx, "proxy").Detail(b.url)
+		resp, err := g.attempt(ctx, b, r.Method, endpoint, body, r.Header.Get("Content-Type"))
+		psp.End()
+		if err != nil {
+			b.metrics.Failures.Add(1)
+			b.health.reportFailure()
+			lastErr = err
+			if r.Context().Err() != nil {
+				break
+			}
+			if attempt+1 < attempts && (r.Method == http.MethodGet || isDialError(err)) {
+				continue
+			}
+			break
+		}
+		b.health.reportRequestSuccess()
+		forward(w, resp)
+		return
+	}
+	g.Metrics.Errors.Add(1)
+	writeJSON(w, http.StatusBadGateway, errorResponse{
+		Error: fmt.Sprintf("gateway: all attempts failed: %v", lastErr),
+	})
 }
 
 type errorResponse struct {
@@ -391,7 +470,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string,
 			g.Metrics.Retries.Add(1)
 		}
 		psp := telemetry.StartSpan(ctx, "proxy").Detail(b.url)
-		resp, err := g.attempt(ctx, b, endpoint, body, r.Header.Get("Content-Type"))
+		resp, err := g.attempt(ctx, b, http.MethodPost, endpoint, body, r.Header.Get("Content-Type"))
 		psp.End()
 		if err != nil {
 			b.metrics.Failures.Add(1)
@@ -439,11 +518,11 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, endpoint string,
 // attempt issues one backend round trip, tracking the in-flight gauge
 // the bounded-load router reads. The response body is the caller's to
 // close.
-func (g *Gateway) attempt(ctx context.Context, b *backend, endpoint string, body []byte, contentType string) (*http.Response, error) {
+func (g *Gateway) attempt(ctx context.Context, b *backend, method, endpoint string, body []byte, contentType string) (*http.Response, error) {
 	inflight := b.metrics.Inflight.Add(1)
 	b.metrics.InflightPeak.SetMax(inflight)
 	defer b.metrics.Inflight.Add(-1)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+endpoint, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, b.url+endpoint, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

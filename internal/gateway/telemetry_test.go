@@ -5,7 +5,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -136,8 +135,7 @@ func contains(list []string, want string) bool {
 
 // TestGatewayMetricsExposition scrapes the gateway's /metrics under
 // concurrent proxied load, strict-parses every scrape, and checks the
-// backend-labeled families; the legacy JSON document must stay
-// reachable at ?format=json.
+// backend-labeled families.
 func TestGatewayMetricsExposition(t *testing.T) {
 	names := []string{"m0", "m1"}
 	dir, X := newFleetRegistry(t, names)
@@ -214,29 +212,6 @@ func TestGatewayMetricsExposition(t *testing.T) {
 	}
 	if h := exp.Family("lam_gateway_route_latency_seconds"); h == nil || h.Type != "histogram" {
 		t.Fatalf("route latency histogram missing: %+v", h)
-	}
-
-	// Legacy JSON document, one release of grace.
-	r, err := http.Get(gw.URL + "/metrics?format=json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Body.Close()
-	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
-		t.Fatalf("?format=json served Content-Type %q", ct)
-	}
-	var legacy struct {
-		PredictRequests uint64 `json:"predict_requests"`
-		Backends        []struct {
-			URL      string `json:"url"`
-			Requests uint64 `json:"requests"`
-		} `json:"backends"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&legacy); err != nil {
-		t.Fatal(err)
-	}
-	if legacy.PredictRequests < 64 || len(legacy.Backends) != 2 {
-		t.Fatalf("legacy document off: %+v", legacy)
 	}
 }
 

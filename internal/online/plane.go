@@ -121,6 +121,10 @@ type modelState struct {
 	window     *window
 	det        detector
 	retraining bool
+	// paused suppresses detector-triggered retrains while a rollout is
+	// evaluating a candidate: publishing a second new version mid-canary
+	// would invalidate the comparison window. Set via SetRetrainPaused.
+	paused bool
 	// ape holds one APE ring per served version (at most
 	// keepAPEVersions), the backing data of lam_served_ape.
 	ape map[int]*apeWindow
@@ -243,12 +247,36 @@ func (p *Plane) Observe(m *registry.Model, X [][]float64, predicted, observed []
 		if fired := st.det.update(ws.MAPE, m.Meta.TestMAPE, ws.Count); fired {
 			st.trips++
 			st.lastTripMAPE = ws.MAPE
-			if !p.cfg.DisableRetrain {
+			if !p.cfg.DisableRetrain && !st.paused {
 				p.startRetrainLocked(st, m)
 			}
 		}
 	}
 	return p.statusLocked(st, m, ws), nil
+}
+
+// SetRetrainPaused suppresses (or re-enables) detector-triggered
+// retrains for name. The rollout controller pauses the plane while a
+// candidate is under evaluation and resumes it after promotion or
+// rollback; observations keep flowing into the window either way.
+func (p *Plane) SetRetrainPaused(name string, paused bool) {
+	st := p.state(name)
+	st.mu.Lock()
+	st.paused = paused
+	st.mu.Unlock()
+}
+
+// ResetWindow clears name's observation window and re-arms its drift
+// detector. Called after a rollout resolves: the window mixed the
+// incumbent's predictions with rollout-era traffic, and judging the
+// post-rollout model on it would double-count drift that has already
+// been acted on.
+func (p *Plane) ResetWindow(name string) {
+	st := p.state(name)
+	st.mu.Lock()
+	st.window.reset()
+	st.det.reset()
+	st.mu.Unlock()
 }
 
 // Status reports the adaptation state of the served model m.

@@ -1,0 +1,101 @@
+package rollout
+
+import "math"
+
+// The traffic splitter is a pure function of (model, candidate
+// version, feature vector): every replica that sees the same request
+// during the same rollout makes the same canary decision with no
+// coordination, and a request's assignment never flaps within a stage.
+// Because a stage's threshold only grows as the fraction does, the
+// split is also nested — a request assigned to the candidate at 1%
+// stays assigned at 10% and 50%, so widening a stage only adds
+// traffic, never reshuffles it. Mixing the candidate version into the
+// hash rotates which requests canary first across successive rollouts,
+// so the same unlucky 1% of the keyspace doesn't absorb every
+// first-stage risk forever.
+
+// FNV-1a over bytes, finished with the splitmix64 avalanche — the same
+// construction internal/xmath uses; inlined here so the per-request
+// hash is a straight loop with no variadic slice allocation.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+func finalize(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// RowHash hashes one request row's routing identity. It allocates
+// nothing: the canary decision rides the serve hot path, which keeps
+// its zero-per-row-allocation contract with shadow scoring active.
+func RowHash(model string, version int, x []float64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(model); i++ {
+		h = fnvByte(h, model[i])
+	}
+	h = fnvUint64(h, uint64(version))
+	for _, f := range x {
+		h = fnvUint64(h, math.Float64bits(f))
+	}
+	return finalize(h)
+}
+
+// BatchHash hashes a whole batch request to one routing decision: a
+// batch is served by exactly one version (mixing versions inside one
+// response would break the bit-identity contract), so the assignment
+// folds every row in.
+func BatchHash(model string, version int, rows [][]float64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(model); i++ {
+		h = fnvByte(h, model[i])
+	}
+	h = fnvUint64(h, uint64(version))
+	for _, row := range rows {
+		for _, f := range row {
+			h = fnvUint64(h, math.Float64bits(f))
+		}
+	}
+	return finalize(h)
+}
+
+// thresholdFor maps a traffic fraction to the hash threshold below
+// which a request is canary-assigned. Fractions at or above 1 map to
+// the sentinel MaxUint64, which assigned treats as "everything" (a
+// plain < compare would lose the topmost hash value).
+func thresholdFor(fraction float64) uint64 {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction >= 1 {
+		return math.MaxUint64
+	}
+	t := math.Ldexp(fraction, 64)
+	if t >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	return uint64(t)
+}
+
+// assigned reports whether hash falls inside the canary fraction.
+func assigned(hash, threshold uint64) bool {
+	if threshold == math.MaxUint64 {
+		return true
+	}
+	return hash < threshold
+}

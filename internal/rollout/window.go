@@ -1,0 +1,62 @@
+package rollout
+
+import (
+	"math"
+	"sort"
+)
+
+// apeRing is a fixed-capacity ring of absolute-percentage-error
+// samples, one per scored observation row. The rollout gate compares
+// the candidate's and incumbent's rings at matching quantiles, so both
+// sides are judged on the same recent traffic rather than on lifetime
+// averages that an old incumbent would win on volume alone.
+type apeRing struct {
+	buf   []float64
+	next  int
+	count int
+}
+
+func newAPERing(capacity int) *apeRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &apeRing{buf: make([]float64, capacity)}
+}
+
+func (w *apeRing) add(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+func (w *apeRing) reset() {
+	w.next, w.count = 0, 0
+}
+
+// quantiles returns nearest-rank quantiles over the current window;
+// NaN for each when the window is empty.
+func (w *apeRing) quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if w == nil || w.count == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	tmp := make([]float64, w.count)
+	copy(tmp, w.buf[:w.count])
+	sort.Float64s(tmp)
+	for i, q := range qs {
+		k := int(math.Ceil(q*float64(w.count))) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= w.count {
+			k = w.count - 1
+		}
+		out[i] = tmp[k]
+	}
+	return out
+}

@@ -354,37 +354,31 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("observe: %d (%s)", obs.StatusCode, body)
 	}
 
-	r, err := http.Get(ts.URL + "/metrics?format=json")
+	exp, err := scrapeStrict(t, ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Body.Close()
-	var m map[string]any
-	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
-		t.Fatal(err)
-	}
 	want := map[string]float64{
-		"predict_requests":       4,
-		"predict_batch_requests": 3,
-		"predict_rows":           float64(3 * len(X)),
-		"predict_errors":         1,
-		"observe_requests":       1,
-		"observe_rows":           1,
+		"lam_predict_requests_total":       4,
+		"lam_predict_batch_requests_total": 3,
+		"lam_predict_rows_total":           float64(3 * len(X)),
+		"lam_predict_errors_total":         1,
+		"lam_observe_requests_total":       1,
+		"lam_observe_rows_total":           1,
+		"lam_online_observations_total":    1,
 	}
-	for k, v := range want {
-		if got, _ := m[k].(float64); got != v {
-			t.Errorf("metrics[%q] = %v, want %v", k, m[k], v)
+	for name, v := range want {
+		f := exp.Family(name)
+		if f == nil || len(f.Samples) == 0 {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if got := f.Samples[0].Value; got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
 		}
 	}
-	if lat, _ := m["predict_latency_ns_total"].(float64); lat <= 0 {
-		t.Errorf("predict latency not accumulated: %v", m["predict_latency_ns_total"])
-	}
-	on, ok := m["online"].(map[string]any)
-	if !ok {
-		t.Fatalf("no online counter section: %v", m)
-	}
-	if got, _ := on["observations"].(float64); got != 1 {
-		t.Errorf("online.observations = %v, want 1", on["observations"])
+	if f := exp.Family("lam_predict_latency_seconds"); f == nil || f.Type != "histogram" {
+		t.Errorf("predict latency histogram missing: %+v", f)
 	}
 }
 

@@ -1,17 +1,13 @@
 package serve
 
 import (
-	"net/http"
-
-	"lam/internal/online"
 	"lam/internal/telemetry"
 )
 
 // Metrics is the server's counter set. Every field is a handle into
 // the server's telemetry.Registry, resolved once at construction: the
 // predict hot path increments them lock-free and allocation-free, and
-// GET /metrics renders the same slots as Prometheus text (or the
-// legacy JSON document at /metrics?format=json).
+// GET /metrics renders the same slots as Prometheus text.
 type Metrics struct {
 	// PredictRequests counts POST /predict requests (single and batch).
 	PredictRequests *telemetry.Counter
@@ -96,84 +92,4 @@ type modelTelemetry struct {
 	ok   *telemetry.Counter
 	err  *telemetry.Counter
 	rows *telemetry.Counter
-}
-
-// latencyBucket is one histogram entry in the legacy /metrics JSON:
-// Count is cumulative — the number of requests that took <= LeNs. LeNs
-// nil marks the +Inf bucket, whose count equals the total request
-// count. Bounds come from the shared telemetry ladder.
-type latencyBucket struct {
-	LeNs  *uint64 `json:"le_ns"`
-	Count uint64  `json:"count"`
-}
-
-// metricsSnapshot is the JSON shape of GET /metrics?format=json — the
-// pre-telemetry document, kept for one release. Request counters
-// always present; the online section appears when the plane is
-// attached.
-type metricsSnapshot struct {
-	PredictRequests       uint64          `json:"predict_requests"`
-	PredictBatchRequests  uint64          `json:"predict_batch_requests"`
-	PredictRows           uint64          `json:"predict_rows"`
-	PredictErrors         uint64          `json:"predict_errors"`
-	PredictLatencyNs      uint64          `json:"predict_latency_ns_total"`
-	PredictLatencyBuckets []latencyBucket `json:"predict_latency_buckets"`
-	ObserveRequests       uint64          `json:"observe_requests"`
-	ObserveRows           uint64          `json:"observe_rows"`
-	ObserveErrors         uint64          `json:"observe_errors"`
-	ModelCacheHits        uint64          `json:"model_cache_hits"`
-	ModelCacheMisses      uint64          `json:"model_cache_misses"`
-	ModelCacheEvictions   uint64          `json:"model_cache_evictions"`
-	ModelSwaps            uint64          `json:"model_swaps"`
-
-	CoalescedRequests uint64 `json:"coalesced_requests"`
-	CoalesceFlushes   uint64 `json:"coalesce_flushes"`
-	CoalesceRows      uint64 `json:"coalesce_rows"`
-	CoalesceMaxFlush  int64  `json:"coalesce_max_flush"`
-	Shed              uint64 `json:"shed"`
-	QueueDepth        int64  `json:"queue_depth"`
-	QueuePeakDepth    int64  `json:"queue_peak_depth"`
-
-	Online *online.Counters `json:"online,omitempty"`
-}
-
-// handleMetricsJSON serves the legacy JSON document, dispatched by the
-// telemetry handler on /metrics?format=json.
-func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	m := &s.Metrics
-	bounds := m.PredictLatency.BoundsNs()
-	cum := m.PredictLatency.Cumulative()
-	buckets := make([]latencyBucket, len(cum))
-	for i := range bounds {
-		le := bounds[i]
-		buckets[i] = latencyBucket{LeNs: &le, Count: cum[i]}
-	}
-	buckets[len(cum)-1] = latencyBucket{Count: cum[len(cum)-1]}
-	snap := metricsSnapshot{
-		PredictRequests:       m.PredictRequests.Load(),
-		PredictBatchRequests:  m.PredictBatchRequests.Load(),
-		PredictRows:           m.PredictRows.Load(),
-		PredictErrors:         m.PredictErrors.Load(),
-		PredictLatencyNs:      m.PredictLatency.SumNs(),
-		PredictLatencyBuckets: buckets,
-		ObserveRequests:       m.ObserveRequests.Load(),
-		ObserveRows:           m.ObserveRows.Load(),
-		ObserveErrors:         m.ObserveErrors.Load(),
-		ModelCacheHits:        m.ModelCacheHits.Load(),
-		ModelCacheMisses:      m.ModelCacheMisses.Load(),
-		ModelCacheEvictions:   m.ModelCacheEvictions.Load(),
-		ModelSwaps:            m.ModelSwaps.Load(),
-		CoalescedRequests:     m.CoalescedRequests.Load(),
-		CoalesceFlushes:       m.CoalesceFlushes.Load(),
-		CoalesceRows:          m.CoalesceRows.Load(),
-		CoalesceMaxFlush:      m.CoalesceMaxFlush.Load(),
-		Shed:                  m.Shed.Load(),
-		QueueDepth:            m.QueueDepth.Load(),
-		QueuePeakDepth:        m.QueuePeakDepth.Load(),
-	}
-	if s.online != nil {
-		c := s.online.Counters()
-		snap.Online = &c
-	}
-	writeJSON(w, http.StatusOK, snap)
 }

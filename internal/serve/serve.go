@@ -19,6 +19,7 @@ import (
 	"lam/internal/ml"
 	"lam/internal/online"
 	"lam/internal/registry"
+	"lam/internal/rollout"
 	"lam/internal/telemetry"
 )
 
@@ -71,6 +72,10 @@ type Server struct {
 
 	// online is the adaptation plane, nil until AttachOnline.
 	online *online.Plane
+	// rollout is the progressive-delivery controller, nil until
+	// AttachRollout; shadowDiv is its shadow-divergence histogram.
+	rollout   *rollout.Controller
+	shadowDiv *telemetry.Histogram
 	// co and admit are built by Handler from Coalesce and Admit.
 	co    *coalescer
 	admit *admission
@@ -219,12 +224,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /models", s.handleModels)
-	mux.Handle("GET /metrics", s.Telemetry.Handler(s.handleMetricsJSON))
+	mux.Handle("GET /metrics", s.Telemetry.Handler())
 	mux.Handle("GET /trace/recent", s.Tracer.Handler())
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	if s.online != nil {
 		mux.HandleFunc("POST /observe", s.handleObserve)
 		mux.HandleFunc("GET /models/{name}/drift", s.handleDrift)
+	}
+	if s.rollout != nil {
+		mux.HandleFunc("GET /models/{name}/rollout", s.handleRolloutGet)
+		mux.HandleFunc("POST /models/{name}/rollout", s.handleRolloutPost)
 	}
 	return mux
 }
@@ -250,6 +259,10 @@ func (s *Server) loadLatest(ctx context.Context, name string) (*registry.Model, 
 	if err != nil {
 		return nil, err
 	}
+	// While a rollout is in flight (or a rolled-back version is still
+	// the newest on disk), "latest" means the pinned incumbent; the
+	// candidate only ever reaches clients through the canary split.
+	latest = s.pinLatest(ctx, name, latest)
 	p := s.latestPtr(name)
 	if m := p.Load(); m != nil && m.Meta.Version >= latest {
 		s.Metrics.ModelCacheHits.Add(1)
@@ -339,6 +352,10 @@ func (s *Server) Reload(name string) (*registry.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A freshly retrained publish lands here first (online.OnPublish):
+	// the pin keeps it out of the hot pointer and starts its rollout
+	// instead of swapping it straight in.
+	latest = s.pinLatest(context.Background(), name, latest)
 	return s.swapIn(context.Background(), name, latest)
 }
 
@@ -627,6 +644,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		fail(err)
 		return
 	}
+	// rv non-nil past this point means "shadow-score after serving":
+	// canary-assigned requests are re-targeted at the candidate (and
+	// have nothing to shadow), the canary remainder is served by the
+	// incumbent without shadowing.
+	rv := s.rolloutView(req.Model, req.Version)
+	if rv != nil {
+		routed := false
+		if single {
+			routed = rv.RouteRow(req.X)
+		} else {
+			routed = rv.RouteBatch(req.Batch)
+		}
+		switch {
+		case routed:
+			m = rv.Candidate
+			rv = nil
+		case rv.Phase != rollout.PhaseShadow:
+			rv = nil
+		}
+	}
 	tr.SetModel(m.Meta.Name, m.Meta.Version)
 	mt := s.modelTeleFor(m)
 	resp := predictResponse{Model: m.Meta.Name, Version: m.Meta.Version}
@@ -650,6 +687,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		mt.rows.Add(1)
 		resp.Y = &y
 		writeJSON(w, http.StatusOK, resp)
+		if rv != nil {
+			s.shadowScoreRow(ctx, rv, req.X, y)
+		}
 		return
 	}
 	s.Metrics.PredictBatchRequests.Add(1)
@@ -671,6 +711,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	mt.rows.Add(uint64(len(req.Batch)))
 	resp.YBatch = *buf
 	writeJSON(w, http.StatusOK, resp)
+	if rv != nil {
+		s.shadowScoreBatch(ctx, rv, req.Batch, *buf)
+	}
 }
 
 // observeRequest carries ground-truth observations: each feature
@@ -697,6 +740,10 @@ type observeResponse struct {
 	Version  int           `json:"version"`
 	Ingested int           `json:"ingested"`
 	Drift    online.Status `json:"drift"`
+	// Rollout is present while a rollout is active for the model: the
+	// state after this batch's APEs fed the current gate, so a replay
+	// client can watch the candidate walk the stages inline.
+	Rollout *rollout.Status `json:"rollout,omitempty"`
 }
 
 // handleObserve scores each observed feature vector with the current
@@ -762,21 +809,31 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.SetModel(m.Meta.Name, m.Meta.Version)
-	buf := ml.GetScratch(len(X))
-	defer ml.PutScratch(buf)
-	psp := tr.StartSpan("predict")
-	err = m.PredictBatchInto(ctx, X, *buf)
-	psp.End()
-	if err != nil {
-		fail(predictError(err))
-		return
-	}
-	isp := tr.StartSpan("observe_ingest")
-	status, err := s.online.Observe(m, X, *buf, obs)
-	isp.End()
-	if err != nil {
-		fail(err)
-		return
+	var status online.Status
+	var rst *rollout.Status
+	if rv := s.rolloutView(req.Model, 0); rv != nil {
+		status, rst, err = s.rolloutObserve(ctx, m, rv, X, obs)
+		if err != nil {
+			fail(err)
+			return
+		}
+	} else {
+		buf := ml.GetScratch(len(X))
+		defer ml.PutScratch(buf)
+		psp := tr.StartSpan("predict")
+		err = m.PredictBatchInto(ctx, X, *buf)
+		psp.End()
+		if err != nil {
+			fail(predictError(err))
+			return
+		}
+		isp := tr.StartSpan("observe_ingest")
+		status, err = s.online.Observe(m, X, *buf, obs)
+		isp.End()
+		if err != nil {
+			fail(err)
+			return
+		}
 	}
 	s.Metrics.ObserveRows.Add(uint64(len(X)))
 	writeJSON(w, http.StatusOK, observeResponse{
@@ -784,6 +841,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		Version:  m.Meta.Version,
 		Ingested: len(X),
 		Drift:    status,
+		Rollout:  rst,
 	})
 }
 

@@ -17,8 +17,8 @@
 // WriteExposition: families sorted by name, series sorted by label
 // signature, histogram buckets cumulative with a terminal +Inf, and a
 // strict in-repo parser (ParseExposition) that the test suites of both
-// daemons run against live scrapes. Handler keeps each daemon's legacy
-// JSON document reachable at /metrics?format=json for one release.
+// daemons run against live scrapes. The text exposition is the only
+// /metrics format (the transitional ?format=json document is gone).
 //
 // Every duration histogram shares one bucket ladder
 // (LatencyBucketBoundsNs, 0.25µs..1s in 4x steps plus +Inf) so serve

@@ -203,17 +203,11 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 // format, version 0.0.4.
 const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// Handler serves GET /metrics: Prometheus text by default, or the
-// daemon's legacy JSON document when the request asks for
-// ?format=json (the one-release compatibility window for dashboards
-// built on the old ad-hoc shape). legacy may be nil if the daemon
-// never had a JSON /metrics.
-func (r *Registry) Handler(legacy http.HandlerFunc) http.Handler {
+// Handler serves GET /metrics as the Prometheus text exposition. (The
+// legacy ?format=json flat document had its one-release compatibility
+// window and is gone; scrape the text format.)
+func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Query().Get("format") == "json" && legacy != nil {
-			legacy(w, req)
-			return
-		}
 		w.Header().Set("Content-Type", ExpositionContentType)
 		if err := r.WriteExposition(w); err != nil {
 			// Headers are gone; nothing useful left to do but note it.

@@ -159,24 +159,16 @@ func TestOnScrapeHook(t *testing.T) {
 	}
 }
 
-func TestHandlerLegacyJSON(t *testing.T) {
+func TestHandlerServesExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("lam_x_total", "help").Inc()
-	h := r.Handler(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Write([]byte(`{"legacy":true}`))
-	})
-	srv := httptest.NewServer(h)
+	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()
 
-	for _, tc := range []struct {
-		url  string
-		want string
-	}{
-		{srv.URL, "# TYPE lam_x_total counter"},
-		{srv.URL + "?format=json", `{"legacy":true}`},
-	} {
-		resp, err := http.Get(tc.url)
+	// The legacy ?format=json dispatch is gone: every request gets the
+	// Prometheus text exposition.
+	for _, url := range []string{srv.URL, srv.URL + "?format=json"} {
+		resp, err := http.Get(url)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,8 +182,11 @@ func TestHandlerLegacyJSON(t *testing.T) {
 			}
 		}
 		resp.Body.Close()
-		if !strings.Contains(sb.String(), tc.want) {
-			t.Fatalf("GET %s: missing %q in:\n%s", tc.url, tc.want, sb.String())
+		if ct := resp.Header.Get("Content-Type"); ct != ExpositionContentType {
+			t.Fatalf("GET %s: Content-Type %q, want %q", url, ct, ExpositionContentType)
+		}
+		if !strings.Contains(sb.String(), "# TYPE lam_x_total counter") {
+			t.Fatalf("GET %s: missing exposition in:\n%s", url, sb.String())
 		}
 	}
 }
